@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints a small table of the rows/series it regenerates (the
+paper is a vision paper, so the "tables" are the quantitative claims listed
+in DESIGN.md / EXPERIMENTS.md); ``print_rows`` keeps the formatting uniform
+so EXPERIMENTS.md can quote the output verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def print_rows(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print a uniform, copy-pastable results table."""
+    print(f"\n== {title} ==")
+    widths = [max(len(str(header[i])), 12) for i in range(len(header))]
+    print("  " + " | ".join(str(column).ljust(widths[i]) for i, column in enumerate(header)))
+    for row in rows:
+        print("  " + " | ".join(str(value).ljust(widths[i]) for i, value in enumerate(row)))

@@ -1,0 +1,75 @@
+"""E12 — the Anna-style lattice KVS (§1.2): coordination-free scaling and convergence.
+
+Regenerates the two properties the paper leans on when citing Anna: put/get
+throughput scales with the number of shards because shards never coordinate,
+and replicas of a shard converge to identical lattice state under concurrent
+conflicting writes without locks or consensus.
+"""
+
+import pytest
+
+from conftest import print_rows
+from repro.cluster import Network, NetworkConfig, Simulator
+from repro.lattices import GCounter, SetUnion
+from repro.storage import LatticeKVS
+
+
+def build_kvs(shards: int, replication: int = 1, seed: int = 5):
+    simulator = Simulator(seed=seed)
+    network = Network(simulator, NetworkConfig(base_delay=0.5, jitter=0.2))
+    return simulator, LatticeKVS(simulator, network, shard_count=shards,
+                                 replication_factor=replication, gossip_interval=20.0)
+
+
+def put_get_workload(kvs, operations: int):
+    for index in range(operations):
+        kvs.put(f"key-{index % 500}", GCounter().increment(f"client-{index % 4}", 1))
+    hits = 0
+    for index in range(operations):
+        if kvs.get(f"key-{index % 500}") is not None:
+            hits += 1
+    return hits
+
+
+@pytest.mark.parametrize("shards", [1, 4, 16])
+def test_kvs_throughput_scales_with_shards(benchmark, shards):
+    operations = 2000
+
+    def run():
+        _, kvs = build_kvs(shards)
+        return put_get_workload(kvs, operations)
+
+    hits = benchmark(run)
+    assert hits == operations
+    stats = benchmark.stats.stats
+    print_rows(
+        f"E12: lattice KVS, {operations} puts + {operations} gets",
+        ["shards", "wall time mean (s)", "ops/sec"],
+        [[shards, f"{stats.mean:.4f}", f"{(2 * operations) / stats.mean:,.0f}"]],
+    )
+
+
+def test_replicas_converge_under_concurrent_conflicting_writes(benchmark):
+    def run():
+        simulator, kvs = build_kvs(shards=2, replication=3, seed=9)
+        # Concurrent conflicting writes to the same keys from different replicas.
+        for index in range(100):
+            key = f"cart-{index % 10}"
+            for replica_index, replica in enumerate(kvs.replicas_for(key)):
+                replica.merge_local(key, SetUnion({f"item-{index}-{replica_index}"}))
+        simulator.run(until=simulator.now + 400.0)
+        divergent = 0
+        for index in range(10):
+            key = f"cart-{index}"
+            values = [replica.value_of(key) for replica in kvs.replicas_for(key)]
+            if len({repr(value) for value in values}) != 1:
+                divergent += 1
+        return divergent
+
+    divergent = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_rows(
+        "E12: convergence after concurrent conflicting writes (3 replicas/shard)",
+        ["keys checked", "divergent replicas after gossip"],
+        [[10, divergent]],
+    )
+    assert divergent == 0

@@ -1,0 +1,93 @@
+"""E11 — FaaS parity (§1, §2.2, §9): Hydro deployment vs the FaaS baseline.
+
+Regenerates the paper's stated initial bar for Hydrolysis — "achieve
+performance and cost at the level of FaaS offerings that users tolerate
+today" — by running the same COVID request mix against the simulated FaaS
+platform and against the compiled Hydro deployment, and comparing latency
+distributions.
+"""
+
+import pytest
+
+from conftest import print_rows
+from repro.apps.covid import build_covid_program
+from repro.cluster import Network, NetworkConfig, Simulator, Topology
+from repro.compiler import Hydrolysis
+from repro.faas import FaaSConfig, FaaSPlatform
+from repro.placement import HandlerLoadModel
+
+
+def request_mix(operations: int):
+    ops = []
+    for pid in range(operations // 2):
+        ops.append(("add_person", {"pid": pid, "country": "US"}))
+    for pid in range(0, operations // 2 - 1, 2):
+        ops.append(("add_contact", {"id1": pid, "id2": pid + 1}))
+    for pid in range(0, operations // 4):
+        ops.append(("likelihood", {"pid": pid}))
+    return ops
+
+
+def run_faas(operations: int):
+    faas = FaaSPlatform(build_covid_program(vaccine_count=1000), FaaSConfig())
+    ops = request_mix(operations)
+    for handler, kwargs in ops:
+        faas.invoke(handler, **kwargs)
+    return {
+        "mean_latency": sum(r.latency_ms for r in faas.invocations) / len(faas.invocations),
+        "cold_starts": int(faas.metrics.counter("faas.cold_starts")),
+        "cost": faas.total_cost(),
+        "requests": len(faas.invocations),
+    }
+
+
+def run_hydro(operations: int):
+    program = build_covid_program(vaccine_count=1000)
+    topology = Topology()
+    nodes = []
+    for az in range(3):
+        topology.place(f"n-{az}", az=f"az-{az}")
+        nodes.append(f"n-{az}")
+    loads = {
+        "add_person": HandlerLoadModel("add_person", 100.0, 4.0),
+        "add_contact": HandlerLoadModel("add_contact", 100.0, 6.0),
+        "likelihood": HandlerLoadModel("likelihood", 25.0, 60.0, requires_processor="gpu"),
+    }
+    compiler = Hydrolysis()
+    plan = compiler.compile(program, topology, nodes, loads)
+    simulator = Simulator(seed=23)
+    network = Network(simulator, NetworkConfig(base_delay=1.0, jitter=0.5))
+    deployment = compiler.deploy(program, plan, simulator, network)
+    for handler, kwargs in request_mix(operations):
+        deployment.invoke(handler, **kwargs)
+    deployment.settle(6000.0)
+    latencies = [
+        deployment.proxy.metrics.latency(f"proxy.{handler}").mean
+        for handler in ("add_person", "add_contact", "likelihood")
+        if deployment.proxy.metrics.latency(f"proxy.{handler}").count
+    ]
+    return {
+        "mean_latency": sum(latencies) / len(latencies),
+        "availability": deployment.availability(),
+        "hourly_cost": plan.total_hourly_cost,
+        "messages": deployment.messages_sent(),
+    }
+
+
+@pytest.mark.parametrize("operations", [40, 120])
+def test_hydro_vs_faas_latency(benchmark, operations):
+    hydro = benchmark.pedantic(run_hydro, args=(operations,), rounds=1, iterations=1)
+    faas = run_faas(operations)
+    print_rows(
+        f"E11: COVID request mix, {operations} operations",
+        ["deployment", "mean latency (sim ms)", "notes"],
+        [
+            ["FaaS baseline", f"{faas['mean_latency']:.1f}",
+             f"{faas['cold_starts']} cold starts, ${faas['cost']:.6f} billed"],
+            ["Hydro (compiled)", f"{hydro['mean_latency']:.1f}",
+             f"availability {hydro['availability']:.2f}, ${hydro['hourly_cost']:.2f}/hour planned"],
+        ],
+    )
+    # The paper's bar: at least match the FaaS baseline's latency.
+    assert hydro["mean_latency"] <= faas["mean_latency"]
+    assert hydro["availability"] == 1.0

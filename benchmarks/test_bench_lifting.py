@@ -1,0 +1,162 @@
+"""E8 — lifting legacy patterns (Appendix A.1–A.2, §4): equivalence and overhead.
+
+Regenerates the lifting validation story: actor, futures and ORM-style
+programs lifted to HydroLogic produce identical observable results to their
+native runtimes, and the lifted execution's overhead on the single-node
+interpreter is reported (the paper's bar is "compete with the native
+runtimes").
+"""
+
+import random
+import time
+
+import pytest
+
+from conftest import print_rows
+from repro.lifting import ActorClass, ActorSystem, lift_actor_class, lift_sequential_program
+from repro.lifting.futures import (
+    lift_future_program,
+    run_lifted_future_program,
+    run_native_future_program,
+)
+from repro.lifting.sequential import (
+    ColumnSpec,
+    MethodSpec,
+    Operation,
+    SequentialTableProgram,
+    TableSpec,
+)
+from repro.lifting.verify import differential_check
+from repro.core import SingleNodeInterpreter
+
+
+def account_actor():
+    def init(balance=0):
+        return {"balance": balance}
+
+    def deposit(state, amount):
+        state["balance"] += amount
+        return state["balance"]
+
+    def withdraw(state, amount):
+        if state["balance"] < amount:
+            return "insufficient"
+        state["balance"] -= amount
+        return state["balance"]
+
+    return ActorClass("Account", init=init, handlers={"deposit": deposit, "withdraw": withdraw})
+
+
+def actor_workload(operations: int, seed: int = 3):
+    rng = random.Random(seed)
+    ops = [("spawn", {"actor_id": f"acct-{i}", "init_kwargs": {"balance": 100}}) for i in range(5)]
+    for _ in range(operations):
+        actor = f"acct-{rng.randrange(5)}"
+        if rng.random() < 0.6:
+            ops.append(("deposit", {"actor_id": actor, "kwargs": {"amount": rng.randrange(1, 50)}}))
+        else:
+            ops.append(("withdraw", {"actor_id": actor, "kwargs": {"amount": rng.randrange(1, 80)}}))
+    return ops
+
+
+@pytest.mark.parametrize("operations", [50, 200])
+def test_actor_lifting_equivalence_and_overhead(benchmark, operations):
+    ops = actor_workload(operations)
+    actor_class = account_actor()
+    lifted = lift_actor_class(actor_class)
+
+    def run_native():
+        system = ActorSystem()
+        system.register(actor_class)
+        results = []
+        for name, kwargs in ops:
+            if name == "spawn":
+                results.append(system.spawn("Account", actor_id=kwargs["actor_id"],
+                                            **kwargs["init_kwargs"]))
+            else:
+                results.append(system.send(kwargs["actor_id"], name, **kwargs["kwargs"]))
+        return results
+
+    def run_lifted():
+        interp = SingleNodeInterpreter(lifted)
+        return [interp.call_and_run(name, **kwargs) for name, kwargs in ops]
+
+    native_results = run_native()
+    lifted_results = benchmark(run_lifted)
+    assert native_results == lifted_results
+
+    start = time.perf_counter()
+    run_native()
+    native_elapsed = time.perf_counter() - start
+    start = time.perf_counter()
+    run_lifted()
+    lifted_elapsed = time.perf_counter() - start
+    print_rows(
+        f"E8: actor program, {len(ops)} operations",
+        ["runtime", "wall time (s)", "observable results"],
+        [
+            ["native actor system", f"{native_elapsed:.4f}", "reference"],
+            ["lifted HydroLogic", f"{lifted_elapsed:.4f}", "identical"],
+        ],
+    )
+
+
+def test_futures_lifting_equivalence(benchmark):
+    native = run_native_future_program(lambda i: i * 7, 8, lambda: "g-done")
+    lifted_program = lift_future_program(lambda i: i * 7, 8, lambda: "g-done")
+    lifted = benchmark(run_lifted_future_program, lifted_program)
+    assert lifted.future_results == native.future_results
+    assert lifted.local_result == native.local_result
+    print_rows(
+        "E8: Ray-style futures program (8 promises)",
+        ["runtime", "futures resolved", "local result"],
+        [
+            ["native promises/futures", len(native.future_results), native.local_result],
+            ["lifted HydroLogic", len(lifted.future_results), lifted.local_result],
+        ],
+    )
+
+
+def library_program():
+    return SequentialTableProgram(
+        name="library",
+        tables=[TableSpec("books", (ColumnSpec("book_id", int), ColumnSpec("title", str),
+                                    ColumnSpec("genre", str), ColumnSpec("borrower", str)),
+                          key="book_id")],
+        methods=[
+            MethodSpec("add_book", ("book_id", "title", "genre"), (Operation("insert", table="books"),)),
+            MethodSpec("borrow", ("book_id", "person"),
+                       (Operation("update_field", table="books", column="borrower",
+                                  key_param="book_id", value_param="person"),)),
+            MethodSpec("find_book", ("book_id",), (Operation("lookup", table="books", key_param="book_id"),)),
+            MethodSpec("by_genre", ("genre",),
+                       (Operation("filter", table="books", column="genre", value_param="genre"),)),
+        ],
+    )
+
+
+def test_sequential_orm_lifting_equivalence(benchmark):
+    program = library_program()
+    rng = random.Random(11)
+    genres = ["sf", "classic", "poetry"]
+    ops = [("add_book", {"book_id": i, "title": f"book-{i}", "genre": rng.choice(genres)})
+           for i in range(100)]
+    ops += [("borrow", {"book_id": rng.randrange(100), "person": f"p{i}"}) for i in range(30)]
+    ops += [("find_book", {"book_id": rng.randrange(120)}) for _ in range(30)]
+    ops += [("by_genre", {"genre": genre}) for genre in genres]
+
+    def run():
+        runtime = program.native_runtime()
+        return differential_check(
+            lambda name, kwargs: runtime.call(name, **kwargs),
+            lift_sequential_program(program),
+            ops,
+        )
+
+    report = benchmark(run)
+    print_rows(
+        "E8: ORM-style sequential program lifted to HydroLogic",
+        ["operations checked", "mismatches"],
+        [[report.operations, len(report.mismatches)]],
+    )
+    assert report.equivalent, report.describe()

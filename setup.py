@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project is fully described by ``pyproject.toml``; this file only exists
+so that ``pip install -e .`` works in offline environments whose setuptools
+lacks ``bdist_wheel`` (legacy editable installs go through ``setup.py
+develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,111 @@
+"""Log shipping: cheap redundancy through logical logs (§6.1, §6.2).
+
+Instead of running a full replica of the service, the primary appends every
+mutation to a logical log and ships log records to standby nodes.  Standbys
+only store (and acknowledge) the log; on failover one of them replays the
+log through a fresh interpreter to reconstruct the state.  Compared with
+replicated execution this trades recovery time for steady-state cost — the
+ablation the E6 benchmark quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Optional
+
+from repro.cluster.network import Message
+from repro.cluster.node import Node
+from repro.core.interpreter import SingleNodeInterpreter
+from repro.core.program import HydroProgram
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One logical-log entry: the handler invocation to replay."""
+
+    index: int
+    handler: str
+    args: dict[str, Any]
+
+
+class LogShippingPrimary(Node):
+    """The primary: serves requests and ships a logical log to standbys."""
+
+    def __init__(self, node_id, simulator, network, program: HydroProgram,
+                 standbys: Iterable[Hashable] = (), domain="default") -> None:
+        super().__init__(node_id, simulator, network, domain)
+        self.program = program
+        self.interpreter = SingleNodeInterpreter(program, node_id=node_id)
+        self.standbys = list(standbys)
+        self.log: list[LogRecord] = []
+        self.on("invoke", self._on_invoke)
+
+    def _on_invoke(self, message: Message) -> None:
+        payload = message.payload
+        handler, args = payload["handler"], payload["args"]
+        record = LogRecord(len(self.log), handler, dict(args))
+        self.log.append(record)
+        for standby in self.standbys:
+            self.send(standby, "log_record", record, size_bytes=256)
+        request = self.interpreter.call(handler, **args)
+        outcome = self.interpreter.run_tick()
+        reply = {
+            "request_id": payload["request_id"],
+            "status": "rejected" if request in outcome.rejected else "ok",
+            "value": outcome.responses.get(request),
+            "replica": self.node_id,
+        }
+        self.send(message.source, "reply", reply)
+
+
+class LogShippingStandby(Node):
+    """A standby that stores the log and can be promoted on failover."""
+
+    def __init__(self, node_id, simulator, network, program: HydroProgram,
+                 domain="default") -> None:
+        super().__init__(node_id, simulator, network, domain)
+        self.program = program
+        self.records: dict[int, LogRecord] = {}
+        self.promoted = False
+        self.interpreter: Optional[SingleNodeInterpreter] = None
+        self.on("log_record", self._on_log_record)
+        self.on("invoke", self._on_invoke)
+
+    def _on_log_record(self, message: Message) -> None:
+        record: LogRecord = message.payload
+        self.records[record.index] = record
+
+    @property
+    def log_length(self) -> int:
+        return len(self.records)
+
+    def promote(self) -> int:
+        """Replay the stored log and start serving requests.
+
+        Returns the number of records replayed.  Gaps in the log (records
+        lost because the primary crashed mid-ship) are skipped: log shipping
+        gives durability up to the last shipped record, not exactly-once.
+        """
+        self.promoted = True
+        self.interpreter = SingleNodeInterpreter(self.program, node_id=self.node_id)
+        replayed = 0
+        for index in sorted(self.records):
+            record = self.records[index]
+            self.interpreter.call(record.handler, **record.args)
+            self.interpreter.run_tick()
+            replayed += 1
+        return replayed
+
+    def _on_invoke(self, message: Message) -> None:
+        if not self.promoted or self.interpreter is None:
+            return  # not serving yet; the proxy will retry elsewhere
+        payload = message.payload
+        request = self.interpreter.call(payload["handler"], **payload["args"])
+        outcome = self.interpreter.run_tick()
+        reply = {
+            "request_id": payload["request_id"],
+            "status": "rejected" if request in outcome.rejected else "ok",
+            "value": outcome.responses.get(request),
+            "replica": self.node_id,
+        }
+        self.send(message.source, "reply", reply)

@@ -1,0 +1,53 @@
+"""Replica placement against availability specs.
+
+Bridges the availability facet and the cluster topology: for every handler,
+pick enough replicas spread across enough distinct failure domains to honour
+its :class:`~repro.core.facets.AvailabilitySpec`, and verify the resulting
+placement actually tolerates the requested failures.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.cluster.domains import Placement, Topology, spread_across_domains
+from repro.core.errors import NotDeployableError
+from repro.core.program import HydroProgram
+
+
+def plan_placements(
+    program: HydroProgram,
+    topology: Topology,
+    candidate_nodes: Iterable[Hashable],
+) -> dict[str, Placement]:
+    """Choose a replica placement per handler satisfying its availability spec.
+
+    Raises :class:`NotDeployableError` when the topology cannot provide the
+    required number of distinct failure domains for some handler.
+    """
+    candidates = list(candidate_nodes)
+    placements: dict[str, Placement] = {}
+    for handler in program.handlers:
+        spec = program.availability_for(handler)
+        required = spec.replicas_required
+        try:
+            replicas = spread_across_domains(topology, candidates, required, spec.domain)
+        except ValueError as exc:
+            raise NotDeployableError(
+                f"handler {handler!r} needs {required} replicas but only "
+                f"{len(candidates)} candidate nodes exist"
+            ) from exc
+        placement = Placement(handler, replicas, topology)
+        if not placement.tolerates(spec.failures, spec.domain):
+            raise NotDeployableError(
+                f"handler {handler!r} requires tolerance of {spec.failures} "
+                f"{spec.domain.value} failures but the topology only offers "
+                f"{len(topology.distinct_domains(replicas, spec.domain))} distinct domains"
+            )
+        placements[handler] = placement
+    return placements
+
+
+def placement_summary(placements: dict[str, Placement]) -> dict[str, int]:
+    """Replica counts per handler (for explain output and benchmarks)."""
+    return {handler: len(p.replicas) for handler, p in placements.items()}

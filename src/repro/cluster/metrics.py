@@ -1,0 +1,112 @@
+"""Metrics collection for simulated deployments.
+
+The target facet optimizes latency distributions, billing cost and message
+budgets, and the adaptive runtime needs monitoring hooks (§2.2).  This
+module provides a small registry of named counters, gauges and latency
+recorders that nodes and protocols write into and that benchmarks read out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass
+class LatencyRecorder:
+    """Collects latency samples and reports percentiles."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        self.samples.append(latency)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Return the ``p``-th percentile (0-100) by nearest-rank."""
+        if not self.samples:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self.samples)
+        rank = max(0, math.ceil(p / 100 * len(ordered)) - 1)
+        return ordered[rank]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and latency recorders."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._latencies: dict[str, LatencyRecorder] = {}
+
+    # -- counters ---------------------------------------------------------------
+
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    # -- gauges -----------------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(name, default)
+
+    # -- latencies --------------------------------------------------------------
+
+    def record_latency(self, name: str, latency: float) -> None:
+        self._latencies.setdefault(name, LatencyRecorder()).record(latency)
+
+    def latency(self, name: str) -> LatencyRecorder:
+        return self._latencies.setdefault(name, LatencyRecorder())
+
+    # -- reporting --------------------------------------------------------------
+
+    def counters(self) -> dict[str, float]:
+        return dict(self._counters)
+
+    def snapshot(self) -> dict[str, object]:
+        """A flat dict summary suitable for printing in benchmark reports."""
+        summary: dict[str, object] = {}
+        for name, value in sorted(self._counters.items()):
+            summary[f"counter.{name}"] = value
+        for name, value in sorted(self._gauges.items()):
+            summary[f"gauge.{name}"] = value
+        for name, recorder in sorted(self._latencies.items()):
+            summary[f"latency.{name}.count"] = recorder.count
+            summary[f"latency.{name}.mean"] = round(recorder.mean, 4)
+            summary[f"latency.{name}.p50"] = round(recorder.p50, 4)
+            summary[f"latency.{name}.p99"] = round(recorder.p99, 4)
+        return summary
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._latencies.clear()

@@ -1,0 +1,200 @@
+"""The simulated network: asynchronous, lossy, reordering message delivery.
+
+HydroLogic's ``send`` statement has exactly these semantics — a message may
+be delayed an unbounded number of ticks and appears non-deterministically
+later — so the network model is the heart of the distributed substrate.
+Delays are sampled from a configurable distribution, messages can be
+dropped or duplicated, and partitions can be installed and healed to test
+availability and consistency protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Optional
+
+from repro.cluster.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class Message:
+    """An addressed message travelling through the simulated network."""
+
+    source: Hashable
+    destination: Hashable
+    mailbox: str
+    payload: Any
+    sent_at: float
+    message_id: int
+
+
+@dataclass
+class NetworkConfig:
+    """Link behaviour knobs.
+
+    ``base_delay`` and ``jitter`` define a uniform delay in
+    ``[base_delay, base_delay + jitter]``; ``drop_rate`` and
+    ``duplicate_rate`` are independent Bernoulli probabilities applied per
+    message.  ``same_domain_delay`` is used instead of ``base_delay`` when
+    both endpoints share a failure domain (e.g. two replicas in one AZ).
+    """
+
+    base_delay: float = 1.0
+    jitter: float = 0.5
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    same_domain_delay: Optional[float] = None
+
+
+@dataclass
+class Partition:
+    """A network partition separating two groups of nodes."""
+
+    group_a: frozenset
+    group_b: frozenset
+
+    def separates(self, source: Hashable, destination: Hashable) -> bool:
+        return (source in self.group_a and destination in self.group_b) or (
+            source in self.group_b and destination in self.group_a
+        )
+
+
+class Network:
+    """Delivers messages between registered nodes with simulated asynchrony."""
+
+    def __init__(self, simulator: Simulator, config: NetworkConfig | None = None) -> None:
+        self.simulator = simulator
+        self.config = config or NetworkConfig()
+        self._handlers: dict[Hashable, Callable[[Message], None]] = {}
+        self._partitions: list[Partition] = []
+        self._next_message_id = 0
+        self._same_domain: dict[Hashable, Hashable] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+
+    # -- registration -----------------------------------------------------------
+
+    def register(self, node_id: Hashable, handler: Callable[[Message], None]) -> None:
+        """Register ``handler`` to receive messages addressed to ``node_id``."""
+        if node_id in self._handlers:
+            raise ValueError(f"node {node_id!r} is already registered")
+        self._handlers[node_id] = handler
+
+    def unregister(self, node_id: Hashable) -> None:
+        self._handlers.pop(node_id, None)
+
+    def set_domain(self, node_id: Hashable, domain: Hashable) -> None:
+        """Record the failure domain of a node for locality-aware delays."""
+        self._same_domain[node_id] = domain
+
+    # -- partitions -------------------------------------------------------------
+
+    def partition(self, group_a, group_b) -> Partition:
+        """Install a partition between two node groups; returns a handle."""
+        part = Partition(frozenset(group_a), frozenset(group_b))
+        self._partitions.append(part)
+        return part
+
+    def heal(self, partition: Partition) -> None:
+        """Remove a previously installed partition."""
+        if partition in self._partitions:
+            self._partitions.remove(partition)
+
+    def heal_all(self) -> None:
+        self._partitions.clear()
+
+    def is_reachable(self, source: Hashable, destination: Hashable) -> bool:
+        return not any(p.separates(source, destination) for p in self._partitions)
+
+    # -- sending ----------------------------------------------------------------
+
+    def send(
+        self,
+        source: Hashable,
+        destination: Hashable,
+        mailbox: str,
+        payload: Any,
+        size_bytes: int = 128,
+    ) -> Message:
+        """Send ``payload`` to ``destination``'s ``mailbox``.
+
+        The message is scheduled for delivery after a sampled delay unless a
+        partition separates the endpoints or the drop lottery fires, in which
+        case it silently disappears (as the paper's ``send`` semantics allow).
+        """
+        message = Message(
+            source=source,
+            destination=destination,
+            mailbox=mailbox,
+            payload=payload,
+            sent_at=self.simulator.now,
+            message_id=self._next_message_id,
+        )
+        self._next_message_id += 1
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+
+        if not self.is_reachable(source, destination):
+            self.messages_dropped += 1
+            return message
+        if self.config.drop_rate and self.simulator.rng.random() < self.config.drop_rate:
+            self.messages_dropped += 1
+            return message
+
+        self._schedule_delivery(message)
+        if (
+            self.config.duplicate_rate
+            and self.simulator.rng.random() < self.config.duplicate_rate
+        ):
+            self._schedule_delivery(message)
+        return message
+
+    def broadcast(
+        self,
+        source: Hashable,
+        destinations,
+        mailbox: str,
+        payload: Any,
+        size_bytes: int = 128,
+    ) -> list[Message]:
+        """Send the same payload to every destination independently."""
+        return [
+            self.send(source, destination, mailbox, payload, size_bytes)
+            for destination in destinations
+        ]
+
+    # -- internals --------------------------------------------------------------
+
+    def _sample_delay(self, source: Hashable, destination: Hashable) -> float:
+        config = self.config
+        base = config.base_delay
+        if (
+            config.same_domain_delay is not None
+            and source in self._same_domain
+            and destination in self._same_domain
+            and self._same_domain[source] == self._same_domain[destination]
+        ):
+            base = config.same_domain_delay
+        jitter = config.jitter * self.simulator.rng.random() if config.jitter else 0.0
+        return base + jitter
+
+    def _schedule_delivery(self, message: Message) -> None:
+        delay = self._sample_delay(message.source, message.destination)
+        self.simulator.schedule(
+            delay,
+            lambda: self._deliver(message),
+            label=f"deliver {message.mailbox} {message.source}->{message.destination}",
+        )
+
+    def _deliver(self, message: Message) -> None:
+        if not self.is_reachable(message.source, message.destination):
+            self.messages_dropped += 1
+            return
+        handler = self._handlers.get(message.destination)
+        if handler is None:
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        handler(message)

@@ -1,0 +1,116 @@
+"""Simulated nodes: processes that host mailboxes, handlers and timers.
+
+A :class:`Node` is the unit of deployment and of failure.  Hydroflow
+fragments, KVS shards, consensus participants and FaaS workers are all
+implemented as nodes (or as components owned by a node).  Nodes can crash —
+after which they ignore all traffic and timers — and recover, optionally
+losing their volatile state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Optional
+
+from repro.cluster.network import Message, Network
+from repro.cluster.simulator import Event, Simulator
+
+
+class Node:
+    """A simulated machine/process with mailboxes and timers."""
+
+    def __init__(
+        self,
+        node_id: Hashable,
+        simulator: Simulator,
+        network: Network,
+        domain: Hashable = "default",
+    ) -> None:
+        self.node_id = node_id
+        self.simulator = simulator
+        self.network = network
+        self.domain = domain
+        self.alive = True
+        self._handlers: dict[str, Callable[[Message], None]] = {}
+        self._timers: list[Event] = []
+        self._undelivered: list[Message] = []
+        network.register(node_id, self._on_message)
+        network.set_domain(node_id, domain)
+
+    # -- handler registration ---------------------------------------------------
+
+    def on(self, mailbox: str, handler: Callable[[Message], None]) -> None:
+        """Register ``handler`` for messages addressed to ``mailbox``."""
+        self._handlers[mailbox] = handler
+
+    def handler_for(self, mailbox: str) -> Optional[Callable[[Message], None]]:
+        return self._handlers.get(mailbox)
+
+    # -- messaging --------------------------------------------------------------
+
+    def send(
+        self,
+        destination: Hashable,
+        mailbox: str,
+        payload: Any,
+        size_bytes: int = 128,
+    ) -> Optional[Message]:
+        """Send a message; crashed nodes send nothing."""
+        if not self.alive:
+            return None
+        return self.network.send(self.node_id, destination, mailbox, payload, size_bytes)
+
+    def broadcast(self, destinations, mailbox: str, payload: Any, size_bytes: int = 128) -> None:
+        if not self.alive:
+            return
+        self.network.broadcast(self.node_id, destinations, mailbox, payload, size_bytes)
+
+    def _on_message(self, message: Message) -> None:
+        if not self.alive:
+            self._undelivered.append(message)
+            return
+        handler = self._handlers.get(message.mailbox)
+        if handler is not None:
+            handler(message)
+
+    # -- timers -----------------------------------------------------------------
+
+    def set_timer(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule a callback that only fires if the node is still alive."""
+
+        def guarded() -> None:
+            if self.alive:
+                callback()
+
+        event = self.simulator.schedule(delay, guarded, label or f"timer@{self.node_id}")
+        self._timers.append(event)
+        return event
+
+    # -- failure ----------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash the node: cancel timers and stop processing messages."""
+        self.alive = False
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+
+    def recover(self, lose_state: bool = False) -> None:
+        """Recover a crashed node.
+
+        ``lose_state`` is a hook for subclasses that hold volatile state —
+        the base class has none, but overriding implementations (KVS
+        replicas, consensus participants) use it to model disk vs memory.
+        Messages that arrived while crashed stay lost, matching fail-stop
+        semantics.
+        """
+        self.alive = True
+        self._undelivered.clear()
+        if lose_state:
+            self.reset_state()
+
+    def reset_state(self) -> None:
+        """Clear volatile state on recovery; base nodes have none."""
+
+    def __repr__(self) -> str:
+        status = "up" if self.alive else "down"
+        return f"Node({self.node_id!r}, domain={self.domain!r}, {status})"

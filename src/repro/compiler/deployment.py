@@ -1,0 +1,160 @@
+"""Instantiating a deployment plan on the simulated cluster.
+
+A :class:`HydroDeployment` turns a :class:`~repro.compiler.plan.DeploymentPlan`
+into running simulated infrastructure:
+
+* one :class:`~repro.availability.replication.ReplicaNode` per node named in
+  the plan's placements, each hosting a full program replica that converges
+  through gossip;
+* a :class:`~repro.availability.proxy.ReplicaProxy` fronting every endpoint;
+* for endpoints whose plan demands coordination, a consensus log whose
+  entries are handler invocations applied in the same order at every
+  replica (state machine replication).
+
+The deployment exposes ``invoke`` for clients and enough metrics (message
+counts, latencies, availability) for the E2/E6/E11 benchmarks to compare
+coordination-free against coordinated execution and Hydro against FaaS.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Hashable, Optional
+
+from repro.availability.proxy import ReplicaProxy
+from repro.availability.replication import ReplicaNode
+from repro.cluster.metrics import MetricsRegistry
+from repro.cluster.network import Network
+from repro.cluster.simulator import Simulator
+from repro.compiler.plan import DeploymentPlan
+from repro.consistency.calm import CoordinationMechanism
+from repro.consistency.paxos import PaxosReplica
+from repro.core.program import HydroProgram
+
+
+class HydroDeployment:
+    """A running (simulated) deployment of one HydroLogic program."""
+
+    def __init__(self, program: HydroProgram, plan: DeploymentPlan,
+                 simulator: Simulator, network: Network,
+                 metrics: MetricsRegistry | None = None,
+                 gossip_interval: float = 10.0) -> None:
+        self.program = program
+        self.plan = plan
+        self.simulator = simulator
+        self.network = network
+        self.metrics = metrics or MetricsRegistry()
+        self._ids = itertools.count()
+        self.responses: dict[Hashable, Any] = {}
+
+        # One program replica per distinct node named anywhere in the plan.
+        replica_ids: list[Hashable] = []
+        domains: dict[Hashable, Hashable] = {}
+        for endpoint_plan in plan.endpoints.values():
+            for index, node_id in enumerate(endpoint_plan.replicas):
+                if node_id not in replica_ids:
+                    replica_ids.append(node_id)
+                    domains[node_id] = f"az-{index}"
+        if not replica_ids:
+            replica_ids = ["replica-0"]
+            domains["replica-0"] = "az-0"
+        self.replica_ids = replica_ids
+        self.replicas: dict[Hashable, ReplicaNode] = {
+            node_id: ReplicaNode(node_id, simulator, network, program,
+                                 domain=domains[node_id],
+                                 gossip_interval=gossip_interval, peers=replica_ids)
+            for node_id in replica_ids
+        }
+        for replica in self.replicas.values():
+            replica.set_peers(replica_ids)
+
+        # Client proxy for coordination-free endpoints.
+        self.proxy = ReplicaProxy("proxy", simulator, network, metrics=self.metrics)
+        for handler, endpoint_plan in plan.endpoints.items():
+            replicas = endpoint_plan.replicas or replica_ids
+            self.proxy.register_endpoint(handler, list(replicas))
+
+        # Consensus log for coordinated endpoints (one log shared by all of them).
+        self.consensus: dict[Hashable, PaxosReplica] = {}
+        if plan.coordinated_endpoints():
+            for index, node_id in enumerate(replica_ids):
+                paxos_id = f"{node_id}-log"
+                self.consensus[node_id] = PaxosReplica(
+                    paxos_id, simulator, network,
+                    peers=[f"{peer}-log" for peer in replica_ids],
+                    domain=domains[node_id],
+                    apply_entry=self._make_apply(node_id),
+                    is_leader=(index == 0),
+                )
+
+    # -- coordinated application -------------------------------------------------------
+
+    def _make_apply(self, node_id: Hashable):
+        def apply_entry(slot: int, value: dict) -> None:
+            replica = self.replicas[node_id]
+            if not replica.alive:
+                return
+            request = replica.interpreter.call(value["handler"], **value["args"])
+            outcome = replica.interpreter.run_tick()
+            if node_id == self.replica_ids[0]:
+                token = value["token"]
+                if request in outcome.rejected:
+                    self.responses[token] = {"status": "rejected",
+                                             "detail": outcome.rejected[request]}
+                else:
+                    self.responses[token] = {"status": "ok",
+                                             "value": outcome.responses.get(request)}
+        return apply_entry
+
+    @property
+    def consensus_leader(self) -> Optional[PaxosReplica]:
+        for replica in self.consensus.values():
+            if replica.is_leader and replica.alive:
+                return replica
+        return None
+
+    # -- client API ----------------------------------------------------------------------
+
+    def invoke(self, handler: str, **args: Any) -> Hashable:
+        """Invoke an endpoint through the mechanism its plan chose.
+
+        Returns a token; once the simulator has been advanced, the reply (if
+        any) is available through :meth:`response`.
+        """
+        endpoint_plan = self.plan.endpoints[handler]
+        token = ("req", next(self._ids))
+        self.metrics.increment(f"invocations.{handler}")
+        if endpoint_plan.coordination.mechanism in (
+            CoordinationMechanism.NONE, CoordinationMechanism.SEALING
+        ) or not self.consensus:
+            request_id = self.proxy.invoke(
+                handler, args,
+                on_reply=lambda reply, t=token: self.responses.__setitem__(t, reply),
+            )
+            self.metrics.increment("requests.coordination_free")
+        else:
+            leader = self.consensus_leader
+            if leader is None:
+                self.responses[token] = {"status": "unavailable", "detail": "no consensus leader"}
+                return token
+            leader.propose({"handler": handler, "args": args, "token": token})
+            self.metrics.increment("requests.coordinated")
+        return token
+
+    def response(self, token: Hashable) -> Optional[dict]:
+        return self.responses.get(token)
+
+    def settle(self, horizon: float = 500.0) -> None:
+        """Advance simulated time so in-flight requests, replication and gossip finish."""
+        self.simulator.run(until=self.simulator.now + horizon)
+
+    # -- reporting ------------------------------------------------------------------------
+
+    def availability(self) -> float:
+        return self.proxy.availability()
+
+    def messages_sent(self) -> int:
+        return self.network.messages_sent
+
+    def replica_states(self):
+        return {node_id: replica.interpreter for node_id, replica in self.replicas.items()}

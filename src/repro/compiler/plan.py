@@ -1,0 +1,103 @@
+"""Deployment plans: the compiler's output before instantiation.
+
+A :class:`DeploymentPlan` records, per endpoint, everything later stages
+need: the monotonicity verdict, the coordination mechanism chosen by the
+CALM analysis, the replica placement chosen for the availability facet, and
+the machine configuration chosen by the target-facet optimizer.  Plans are
+plain data so they can be explained to developers, compared in tests and
+re-generated during backtracking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+from repro.cluster.domains import Placement
+from repro.consistency.calm import CoordinationDecision, CoordinationMechanism
+from repro.core.facets import AvailabilitySpec, ConsistencySpec, TargetSpec
+from repro.core.monotonicity import HandlerAnalysis
+from repro.placement.ilp import ConfigurationOption
+
+
+@dataclass
+class EndpointPlan:
+    """Everything the compiler decided about one endpoint."""
+
+    handler: str
+    analysis: HandlerAnalysis
+    coordination: CoordinationDecision
+    consistency: ConsistencySpec
+    availability: AvailabilitySpec
+    target: TargetSpec
+    replicas: list[Hashable] = field(default_factory=list)
+    machine_configuration: Optional[ConfigurationOption] = None
+
+    @property
+    def coordination_free(self) -> bool:
+        return self.coordination.coordination_free
+
+    @property
+    def replica_count(self) -> int:
+        return len(self.replicas)
+
+
+@dataclass
+class DeploymentPlan:
+    """The full compiled plan for a program."""
+
+    program_name: str
+    endpoints: dict[str, EndpointPlan] = field(default_factory=dict)
+    table_partitioning: dict[str, str] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def endpoint(self, handler: str) -> EndpointPlan:
+        return self.endpoints[handler]
+
+    def coordinated_endpoints(self) -> list[str]:
+        return [name for name, plan in self.endpoints.items() if not plan.coordination_free]
+
+    def coordination_free_endpoints(self) -> list[str]:
+        return [name for name, plan in self.endpoints.items() if plan.coordination_free]
+
+    @property
+    def total_instances(self) -> int:
+        return sum(
+            plan.machine_configuration.instances
+            for plan in self.endpoints.values()
+            if plan.machine_configuration is not None
+        )
+
+    @property
+    def total_hourly_cost(self) -> float:
+        return sum(
+            plan.machine_configuration.hourly_cost
+            for plan in self.endpoints.values()
+            if plan.machine_configuration is not None
+        )
+
+    def explain(self) -> str:
+        """Human-readable compiler explain output."""
+        lines = [f"Deployment plan for {self.program_name!r}:"]
+        for name, plan in sorted(self.endpoints.items()):
+            machine = (
+                f"{plan.machine_configuration.instances} x {plan.machine_configuration.machine.name}"
+                if plan.machine_configuration is not None
+                else "unsized"
+            )
+            lines.append(
+                f"  {name}: {plan.analysis.verdict.value}, "
+                f"coordination={plan.coordination.mechanism.value}, "
+                f"replicas={plan.replica_count} "
+                f"({plan.availability.failures} failures @ {plan.availability.domain.value}), "
+                f"machines={machine}"
+            )
+            for reason in plan.coordination.reasons:
+                lines.append(f"      - {reason}")
+        if self.table_partitioning:
+            lines.append("  table partitioning:")
+            for table, attribute in sorted(self.table_partitioning.items()):
+                lines.append(f"      {table} sharded by {attribute}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)

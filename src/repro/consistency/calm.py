@@ -1,0 +1,87 @@
+"""CALM-driven coordination decisions.
+
+Given a program's monotonicity report and consistency facet, decide — per
+endpoint — which of the paper's three enforcement approaches (§7.2) to use:
+
+1. *no enforcement* when the analysis proves the handler coordination-free;
+2. *lattice encapsulation / sealing* when a non-monotone observation can be
+   deferred behind an upward-closed threshold (the Dynamo-cart trick); or
+3. *heavyweight coordination* — a commit protocol or a consensus log —
+   when deterministic outcomes over non-monotone effects are demanded.
+
+The decision object also carries the reasons, so the compiler's explain
+output can show developers why an endpoint pays for coordination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.facets import ConsistencyLevel
+from repro.core.monotonicity import MonotonicityReport, analyze_program
+from repro.core.program import HydroProgram
+
+
+class CoordinationMechanism(str, Enum):
+    """How an endpoint's consistency spec is enforced."""
+
+    NONE = "none"                      # coordination-free (CALM)
+    SEALING = "sealing"                # threshold/seal-based finalisation
+    TWO_PHASE_COMMIT = "2pc"           # atomic commitment across partitions
+    CONSENSUS_LOG = "consensus-log"    # total order broadcast (state machine replication)
+
+
+@dataclass(frozen=True)
+class CoordinationDecision:
+    """The compiler's choice for one endpoint."""
+
+    handler: str
+    mechanism: CoordinationMechanism
+    reasons: tuple[str, ...] = ()
+
+    @property
+    def coordination_free(self) -> bool:
+        return self.mechanism in (CoordinationMechanism.NONE, CoordinationMechanism.SEALING)
+
+
+def decide_coordination(
+    program: HydroProgram,
+    report: MonotonicityReport | None = None,
+    sealable_handlers: frozenset[str] | set[str] = frozenset(),
+) -> dict[str, CoordinationDecision]:
+    """Choose a coordination mechanism for every handler.
+
+    ``sealable_handlers`` names endpoints the developer (or a Blazes-style
+    analysis) has identified as finalisable through sealing; for those the
+    compiler prefers sealing over heavyweight coordination.
+    """
+    if report is None:
+        report = analyze_program(program)
+    decisions: dict[str, CoordinationDecision] = {}
+    for name, analysis in report.handlers.items():
+        spec = program.consistency_for(name)
+        reasons = list(analysis.reasons)
+        if analysis.coordination_free:
+            mechanism = CoordinationMechanism.NONE
+            if not reasons:
+                reasons = ["monotone handler: CALM guarantees coordination-free determinism"]
+        elif name in sealable_handlers:
+            mechanism = CoordinationMechanism.SEALING
+            reasons.append("finalisation deferred behind an upward-closed seal threshold")
+        elif spec.level in (ConsistencyLevel.SERIALIZABLE, ConsistencyLevel.LINEARIZABLE) or spec.invariants:
+            mechanism = CoordinationMechanism.CONSENSUS_LOG
+            reasons.append("total order required across replicas")
+        else:
+            mechanism = CoordinationMechanism.TWO_PHASE_COMMIT
+            reasons.append("atomic commitment across partitions is sufficient")
+        decisions[name] = CoordinationDecision(name, mechanism, tuple(reasons))
+    return decisions
+
+
+def coordination_summary(decisions: dict[str, CoordinationDecision]) -> dict[str, int]:
+    """Count endpoints per mechanism — used in compiler explain output and benches."""
+    summary: dict[str, int] = {}
+    for decision in decisions.values():
+        summary[decision.mechanism.value] = summary.get(decision.mechanism.value, 0) + 1
+    return summary

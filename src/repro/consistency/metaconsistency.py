@@ -1,0 +1,151 @@
+"""Metaconsistency: consistency of heterogeneous consistency specs (§7.2).
+
+A single public API call may traverse several internal endpoints, each with
+its own consistency spec.  The composition's observable guarantee is the
+*weakest* level along the path, so the analysis here (i) orders levels by
+strength, (ii) computes the end-to-end guarantee of every path through the
+handler call graph, and (iii) flags endpoints whose declared guarantee is
+stronger than what their downstream dependencies can deliver — exactly the
+mixed-consistency composition problem of MixT/Gallifrey that the paper
+folds into the Hydro agenda.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.facets import ConsistencyLevel
+from repro.core.program import HydroProgram
+
+#: Strength order: index 0 is weakest.
+LEVEL_STRENGTH = [
+    ConsistencyLevel.EVENTUAL,
+    ConsistencyLevel.CAUSAL,
+    ConsistencyLevel.SNAPSHOT,
+    ConsistencyLevel.SEQUENTIAL,
+    ConsistencyLevel.SERIALIZABLE,
+    ConsistencyLevel.LINEARIZABLE,
+]
+
+
+def strength(level: ConsistencyLevel) -> int:
+    """Numeric strength of a level (higher is stronger)."""
+    return LEVEL_STRENGTH.index(level)
+
+
+def composed_level(levels: Iterable[ConsistencyLevel]) -> ConsistencyLevel:
+    """The observable guarantee of a composition: the weakest link."""
+    levels = list(levels)
+    if not levels:
+        return ConsistencyLevel.LINEARIZABLE
+    return min(levels, key=strength)
+
+
+@dataclass(frozen=True)
+class PathGuarantee:
+    """One call path and the end-to-end guarantee it can offer."""
+
+    path: tuple[str, ...]
+    guarantee: ConsistencyLevel
+
+
+@dataclass
+class CompositionReport:
+    """All paths from public endpoints plus any metaconsistency violations."""
+
+    paths: list[PathGuarantee] = field(default_factory=list)
+    violations: dict[str, ConsistencyLevel] = field(default_factory=dict)
+
+    @property
+    def is_consistent(self) -> bool:
+        return not self.violations
+
+    def guarantee_for(self, endpoint: str) -> ConsistencyLevel:
+        """The strongest guarantee actually deliverable at ``endpoint``."""
+        relevant = [p.guarantee for p in self.paths if p.path and p.path[0] == endpoint]
+        return composed_level(relevant)
+
+    def describe(self) -> str:
+        lines = ["Metaconsistency report:"]
+        for path in self.paths:
+            lines.append(f"  {' -> '.join(path.path)}: {path.guarantee.value}")
+        for endpoint, deliverable in self.violations.items():
+            lines.append(
+                f"  VIOLATION {endpoint}: declared stronger than deliverable "
+                f"({deliverable.value})"
+            )
+        return "\n".join(lines)
+
+
+def analyze_composition(
+    program: HydroProgram,
+    call_graph: Mapping[str, Iterable[str]],
+    max_depth: int = 16,
+) -> CompositionReport:
+    """Check metaconsistency of a program's handler composition.
+
+    ``call_graph`` maps a handler to the internal endpoints it invokes (the
+    dataflow analysis across HydroLogic handlers the paper describes is
+    represented here by its result).  A handler's declared level is a
+    violation when some path through its dependencies can only deliver a
+    weaker level.
+    """
+    report = CompositionReport()
+
+    def walk(endpoint: str, path: tuple[str, ...]) -> list[tuple[str, ...]]:
+        if len(path) > max_depth:
+            return [path]
+        downstream = list(call_graph.get(endpoint, ()))
+        if not downstream:
+            return [path]
+        paths = []
+        for nxt in downstream:
+            if nxt in path:  # cycles contribute the loop prefix only
+                paths.append(path + (nxt,))
+                continue
+            paths.extend(walk(nxt, path + (nxt,)))
+        return paths
+
+    for endpoint in program.handlers:
+        for path in walk(endpoint, (endpoint,)):
+            levels = [
+                program.consistency_for(handler).level
+                for handler in path
+                if handler in program.handlers
+            ]
+            report.paths.append(PathGuarantee(path, composed_level(levels)))
+
+    for endpoint in program.handlers:
+        declared = program.consistency_for(endpoint).level
+        deliverable = report.guarantee_for(endpoint)
+        if strength(declared) > strength(deliverable):
+            report.violations[endpoint] = deliverable
+
+    return report
+
+
+def strengthen_to_satisfy(
+    program: HydroProgram,
+    call_graph: Mapping[str, Iterable[str]],
+) -> dict[str, ConsistencyLevel]:
+    """Suggest per-endpoint upgrades that repair metaconsistency violations.
+
+    For white-box HydroLogic code the compiler can *change* internal specs
+    (§7.2).  The suggestion is the minimal upgrade: every endpoint reachable
+    from a violating public endpoint is raised to that endpoint's declared
+    level.
+    """
+    report = analyze_composition(program, call_graph)
+    upgrades: dict[str, ConsistencyLevel] = {}
+    for endpoint in report.violations:
+        declared = program.consistency_for(endpoint).level
+        for path in report.paths:
+            if path.path and path.path[0] == endpoint:
+                for handler in path.path[1:]:
+                    if handler not in program.handlers:
+                        continue
+                    current = upgrades.get(handler, program.consistency_for(handler).level)
+                    if strength(current) < strength(declared):
+                        upgrades[handler] = declared
+    return upgrades

@@ -1,0 +1,94 @@
+"""Sealing: moving coordination off the critical path (§7.2).
+
+The Dynamo shopping-cart story the paper retells: instead of coordinating
+replicas to agree on the final cart, the (unreplicated) client decides the
+final contents unilaterally and ships a *manifest*; each replica finalises
+as soon as its local, monotonically growing state covers the manifest.  The
+threshold test "local state ⊇ manifest" is upward-closed, so once it fires
+it stays fired and every replica finalises to the same value — deterministic
+without any replica-to-replica coordination.
+
+:class:`SealManifest` is the shipped summary; :class:`SealingCoordinator`
+tracks per-key manifests and answers "can this key seal yet?" against a
+growing lattice of observed items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Hashable, Iterable, Optional
+
+from repro.lattices import SetUnion
+
+
+@dataclass(frozen=True)
+class SealManifest:
+    """The client's unilateral description of a finished entity."""
+
+    key: Hashable
+    expected_items: FrozenSet[Hashable]
+    expected_count: Optional[int] = None
+
+    @staticmethod
+    def of(key: Hashable, items: Iterable[Hashable]) -> "SealManifest":
+        items = frozenset(items)
+        return SealManifest(key, items, len(items))
+
+    def satisfied_by(self, observed: SetUnion | Iterable[Hashable]) -> bool:
+        """Upward-closed threshold: observed items cover the manifest."""
+        observed_set = set(observed.elements) if isinstance(observed, SetUnion) else set(observed)
+        if not self.expected_items <= observed_set:
+            return False
+        if self.expected_count is not None and len(self.expected_items) < self.expected_count:
+            return False
+        return True
+
+
+class SealingCoordinator:
+    """Tracks manifests and observed state, firing a callback exactly once per key."""
+
+    def __init__(self, on_sealed: Callable[[Hashable, frozenset], None] | None = None) -> None:
+        self.on_sealed = on_sealed or (lambda key, items: None)
+        self._manifests: dict[Hashable, SealManifest] = {}
+        self._observed: dict[Hashable, SetUnion] = {}
+        self._sealed: dict[Hashable, frozenset] = {}
+
+    # -- inputs -----------------------------------------------------------------------
+
+    def submit_manifest(self, manifest: SealManifest) -> bool:
+        """Record the client's manifest; returns True if the key sealed immediately."""
+        self._manifests[manifest.key] = manifest
+        return self._try_seal(manifest.key)
+
+    def observe(self, key: Hashable, items: Iterable[Hashable]) -> bool:
+        """Merge locally observed items; returns True if this caused sealing."""
+        current = self._observed.get(key, SetUnion())
+        self._observed[key] = current.merge(SetUnion(items))
+        return self._try_seal(key)
+
+    # -- outputs ---------------------------------------------------------------------
+
+    def is_sealed(self, key: Hashable) -> bool:
+        return key in self._sealed
+
+    def sealed_value(self, key: Hashable) -> Optional[frozenset]:
+        return self._sealed.get(key)
+
+    def sealed_keys(self) -> list[Hashable]:
+        return list(self._sealed)
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _try_seal(self, key: Hashable) -> bool:
+        if key in self._sealed:
+            return False
+        manifest = self._manifests.get(key)
+        if manifest is None:
+            return False
+        observed = self._observed.get(key, SetUnion())
+        if manifest.satisfied_by(observed):
+            final = frozenset(manifest.expected_items)
+            self._sealed[key] = final
+            self.on_sealed(key, final)
+            return True
+        return False

@@ -1,0 +1,127 @@
+"""Two-phase commit over the simulated cluster.
+
+The classic atomic-commitment protocol: a coordinator asks every participant
+to *prepare*; if all vote yes it broadcasts *commit*, otherwise *abort*.
+Used by the Hydrolysis compiler when an endpoint needs atomicity across
+partitioned state but not a global total order.  Participants that crash
+before voting cause an abort (presumed abort); the protocol counts messages
+so benchmarks can compare its cost against coordination-free execution.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Hashable, Optional
+
+from repro.cluster.network import Message
+from repro.cluster.node import Node
+
+
+class TransactionOutcome(str, Enum):
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+    PENDING = "pending"
+
+
+@dataclass
+class _TransactionState:
+    transaction_id: int
+    payload: Any
+    participants: list[Hashable]
+    votes: dict[Hashable, bool] = field(default_factory=dict)
+    outcome: TransactionOutcome = TransactionOutcome.PENDING
+    on_complete: Optional[Callable[[TransactionOutcome], None]] = None
+
+
+class TransactionParticipant(Node):
+    """A participant that votes on prepare and applies committed payloads."""
+
+    def __init__(self, node_id, simulator, network, domain="default",
+                 can_commit: Callable[[Any], bool] | None = None,
+                 apply_payload: Callable[[Any], None] | None = None) -> None:
+        super().__init__(node_id, simulator, network, domain)
+        self.can_commit = can_commit or (lambda payload: True)
+        self.apply_payload = apply_payload or (lambda payload: None)
+        self.prepared: dict[int, Any] = {}
+        self.committed: list[Any] = []
+        self.aborted: list[int] = []
+        self.on("prepare", self._on_prepare)
+        self.on("commit", self._on_commit)
+        self.on("abort", self._on_abort)
+
+    def _on_prepare(self, message: Message) -> None:
+        transaction_id, payload = message.payload
+        vote = bool(self.can_commit(payload))
+        if vote:
+            self.prepared[transaction_id] = payload
+        self.send(message.source, "vote", (transaction_id, self.node_id, vote))
+
+    def _on_commit(self, message: Message) -> None:
+        transaction_id = message.payload
+        payload = self.prepared.pop(transaction_id, None)
+        if payload is not None:
+            self.apply_payload(payload)
+            self.committed.append(payload)
+
+    def _on_abort(self, message: Message) -> None:
+        transaction_id = message.payload
+        self.prepared.pop(transaction_id, None)
+        self.aborted.append(transaction_id)
+
+
+class TransactionCoordinator(Node):
+    """The 2PC coordinator: collects votes and decides commit/abort."""
+
+    def __init__(self, node_id, simulator, network, domain="default",
+                 vote_timeout: float = 50.0) -> None:
+        super().__init__(node_id, simulator, network, domain)
+        self.vote_timeout = vote_timeout
+        self._transactions: dict[int, _TransactionState] = {}
+        self._ids = itertools.count()
+        self.on("vote", self._on_vote)
+
+    def begin(self, payload: Any, participants: list[Hashable],
+              on_complete: Optional[Callable[[TransactionOutcome], None]] = None) -> int:
+        """Start a transaction; returns its id.  The outcome arrives via callback."""
+        transaction_id = next(self._ids)
+        state = _TransactionState(transaction_id, payload, list(participants), on_complete=on_complete)
+        self._transactions[transaction_id] = state
+        for participant in participants:
+            self.send(participant, "prepare", (transaction_id, payload))
+        self.set_timer(
+            self.vote_timeout,
+            lambda: self._on_timeout(transaction_id),
+            label=f"2pc-timeout-{transaction_id}",
+        )
+        return transaction_id
+
+    def outcome(self, transaction_id: int) -> TransactionOutcome:
+        return self._transactions[transaction_id].outcome
+
+    # -- internals ---------------------------------------------------------------
+
+    def _on_vote(self, message: Message) -> None:
+        transaction_id, participant, vote = message.payload
+        state = self._transactions.get(transaction_id)
+        if state is None or state.outcome is not TransactionOutcome.PENDING:
+            return
+        state.votes[participant] = vote
+        if not vote:
+            self._decide(state, TransactionOutcome.ABORTED)
+        elif len(state.votes) == len(state.participants) and all(state.votes.values()):
+            self._decide(state, TransactionOutcome.COMMITTED)
+
+    def _on_timeout(self, transaction_id: int) -> None:
+        state = self._transactions.get(transaction_id)
+        if state is not None and state.outcome is TransactionOutcome.PENDING:
+            self._decide(state, TransactionOutcome.ABORTED)
+
+    def _decide(self, state: _TransactionState, outcome: TransactionOutcome) -> None:
+        state.outcome = outcome
+        mailbox = "commit" if outcome is TransactionOutcome.COMMITTED else "abort"
+        for participant in state.participants:
+            self.send(participant, mailbox, state.transaction_id)
+        if state.on_complete is not None:
+            state.on_complete(outcome)

@@ -1,0 +1,166 @@
+"""Monotonicity analysis: the CALM-side of HydroLogic's static checks.
+
+The CALM theorem says a program has a coordination-free, deterministic
+distributed execution iff it is monotone.  HydroLogic makes the analysis
+tractable by construction: handlers declare their effects, queries declare
+their monotonicity, and state cells are either lattice-typed (merges are
+monotone) or plain (assignments are not).  The analysis classifies every
+handler and query, explains *why* non-monotone ones are non-monotone, and
+feeds the compiler's decision of which endpoints need coordination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+from repro.core.facets import ConsistencyLevel
+from repro.core.handlers import EffectKind, Handler, Query
+from repro.core.program import HydroProgram
+
+
+class MonotonicityVerdict(str, Enum):
+    """Classification of a handler or query."""
+
+    MONOTONE = "monotone"
+    NON_MONOTONE = "non-monotone"
+
+
+@dataclass(frozen=True)
+class HandlerAnalysis:
+    """Verdict plus human-readable reasons for one handler."""
+
+    handler: str
+    verdict: MonotonicityVerdict
+    reasons: tuple[str, ...] = ()
+    coordination_free: bool = True
+
+    @property
+    def is_monotone(self) -> bool:
+        return self.verdict is MonotonicityVerdict.MONOTONE
+
+
+@dataclass(frozen=True)
+class QueryAnalysis:
+    query: str
+    verdict: MonotonicityVerdict
+    reasons: tuple[str, ...] = ()
+
+
+@dataclass
+class MonotonicityReport:
+    """The full program analysis used by the Hydrolysis compiler."""
+
+    handlers: dict[str, HandlerAnalysis] = field(default_factory=dict)
+    queries: dict[str, QueryAnalysis] = field(default_factory=dict)
+
+    def monotone_handlers(self) -> list[str]:
+        return [name for name, a in self.handlers.items() if a.is_monotone]
+
+    def non_monotone_handlers(self) -> list[str]:
+        return [name for name, a in self.handlers.items() if not a.is_monotone]
+
+    def coordination_free_handlers(self) -> list[str]:
+        return [name for name, a in self.handlers.items() if a.coordination_free]
+
+    def coordinated_handlers(self) -> list[str]:
+        return [name for name, a in self.handlers.items() if not a.coordination_free]
+
+    def describe(self) -> str:
+        lines = ["Monotonicity report:"]
+        for name, analysis in sorted(self.handlers.items()):
+            coordination = "coordination-free" if analysis.coordination_free else "COORDINATED"
+            lines.append(f"  {name}: {analysis.verdict.value} ({coordination})")
+            for reason in analysis.reasons:
+                lines.append(f"      - {reason}")
+        return "\n".join(lines)
+
+
+def analyze_query(program: HydroProgram, query: Query) -> QueryAnalysis:
+    """A query is monotone iff it is declared monotone and so are the queries it reads."""
+    reasons: list[str] = []
+    if not query.monotone:
+        reasons.append("declared non-monotone")
+    for read in query.reads:
+        nested = program.queries.get(read)
+        if nested is not None and not nested.monotone:
+            reasons.append(f"depends on non-monotone query {read!r}")
+    verdict = MonotonicityVerdict.MONOTONE if not reasons else MonotonicityVerdict.NON_MONOTONE
+    return QueryAnalysis(query.name, verdict, tuple(reasons))
+
+
+def analyze_handler(program: HydroProgram, handler: Handler) -> HandlerAnalysis:
+    """Classify one handler and decide whether it can run coordination-free.
+
+    A handler is monotone when every state effect is a lattice merge and
+    every query it uses is monotone.  Sends do not affect monotonicity (they
+    are asynchronous merges into mailboxes).  Coordination is needed when
+    the handler is non-monotone *or* its consistency spec demands a
+    coordinated level or carries invariants over state that other handlers
+    also write non-monotonically.
+    """
+    reasons: list[str] = []
+
+    for spec in handler.effects:
+        if spec.kind is EffectKind.ASSIGN:
+            reasons.append(f"non-monotone assignment to {spec.target!r}")
+        elif spec.kind is EffectKind.DELETE:
+            reasons.append(f"non-monotone deletion from {spec.target!r}")
+        elif spec.kind is EffectKind.MERGE:
+            target = spec.target
+            if program.datamodel.has_var(target) and not program.datamodel.var(target).is_lattice:
+                reasons.append(
+                    f"merge into plain (non-lattice) var {target!r} is not monotone"
+                )
+
+    for query_name in handler.queries:
+        query = program.queries.get(query_name)
+        if query is not None:
+            query_analysis = analyze_query(program, query)
+            if query_analysis.verdict is MonotonicityVerdict.NON_MONOTONE:
+                reasons.append(f"uses non-monotone query {query_name!r}")
+
+    verdict = MonotonicityVerdict.MONOTONE if not reasons else MonotonicityVerdict.NON_MONOTONE
+
+    # CALM refinement (§7): coordination is required only when a handler is
+    # non-monotone AND its consistency spec actually demands deterministic
+    # outcomes (a coordinated level or application invariants).  Monotone
+    # handlers are order-insensitive, so even a "serializable" annotation does
+    # not force coordination; non-monotone handlers under eventual consistency
+    # accept nondeterminism and also run coordination-free.
+    consistency = program.consistency_for(handler.name)
+    coordination_free = True
+    coordination_reasons = list(reasons)
+    if verdict is MonotonicityVerdict.NON_MONOTONE:
+        if consistency.level in (
+            ConsistencyLevel.SEQUENTIAL,
+            ConsistencyLevel.SERIALIZABLE,
+            ConsistencyLevel.LINEARIZABLE,
+        ):
+            coordination_free = False
+            coordination_reasons.append(
+                f"consistency level {consistency.level.value} over non-monotone effects"
+            )
+        if consistency.invariants:
+            coordination_free = False
+            coordination_reasons.append(
+                "application invariants over non-monotone state require coordination"
+            )
+
+    return HandlerAnalysis(
+        handler=handler.name,
+        verdict=verdict,
+        reasons=tuple(coordination_reasons),
+        coordination_free=coordination_free,
+    )
+
+
+def analyze_program(program: HydroProgram) -> MonotonicityReport:
+    """Analyze every query and handler of a program."""
+    report = MonotonicityReport()
+    for query in program.queries.values():
+        report.queries[query.name] = analyze_query(program, query)
+    for handler in program.handlers.values():
+        report.handlers[handler.name] = analyze_handler(program, handler)
+    return report

@@ -1,0 +1,256 @@
+"""Program state and deferred effects for the transducer event loop.
+
+State is split per the data model: tables (keyed rows whose lattice fields
+merge monotonically) and vars (lattice or plain).  Handlers never mutate
+state directly; they emit :class:`Effect` records which the interpreter
+applies atomically at end of tick — exactly the paper's "mutations are
+deferred until the end of a clock tick" semantics (§3.1).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Iterator, Mapping, Optional
+
+from repro.core.datamodel import DataModel, EntityClass, TableDecl
+from repro.core.errors import SpecificationError
+from repro.lattices.base import Lattice
+
+
+# -- effects ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Effect:
+    """Base class for deferred state changes and outbound messages."""
+
+
+@dataclass(frozen=True)
+class MergeRowEffect(Effect):
+    """Monotone upsert: lattice fields merge, plain fields fill if absent."""
+
+    table: str
+    row: Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class MergeFieldEffect(Effect):
+    """Monotone merge into one lattice field of one row."""
+
+    table: str
+    key: Hashable
+    field_name: str
+    value: Lattice
+
+
+@dataclass(frozen=True)
+class AssignFieldEffect(Effect):
+    """Non-monotone overwrite of one field of one row."""
+
+    table: str
+    key: Hashable
+    field_name: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class DeleteRowEffect(Effect):
+    """Non-monotone removal of a row."""
+
+    table: str
+    key: Hashable
+
+
+@dataclass(frozen=True)
+class MergeVarEffect(Effect):
+    """Monotone merge into a lattice-typed variable."""
+
+    var: str
+    value: Lattice
+
+
+@dataclass(frozen=True)
+class AssignVarEffect(Effect):
+    """Non-monotone assignment to a variable."""
+
+    var: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class SendEffect(Effect):
+    """Asynchronous send into a mailbox, possibly on another node."""
+
+    mailbox: str
+    payload: Any
+    destination: Optional[Hashable] = None
+
+
+@dataclass(frozen=True)
+class ResponseEffect(Effect):
+    """The handler's reply to its caller (the implicit <response> mailbox)."""
+
+    request_id: Hashable
+    value: Any
+
+
+MONOTONE_EFFECTS = (MergeRowEffect, MergeFieldEffect, MergeVarEffect)
+NON_MONOTONE_EFFECTS = (AssignFieldEffect, AssignVarEffect, DeleteRowEffect)
+
+
+# -- state -----------------------------------------------------------------------
+
+
+class TableState:
+    """Rows of one table, keyed by the entity key."""
+
+    def __init__(self, decl: TableDecl) -> None:
+        self.decl = decl
+        self.rows: dict[Hashable, dict[str, Any]] = {}
+
+    @property
+    def entity(self) -> EntityClass:
+        return self.decl.entity
+
+    def get(self, key: Hashable) -> Optional[dict[str, Any]]:
+        return self.rows.get(key)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self.rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.rows.values())
+
+    def keys(self) -> Iterable[Hashable]:
+        return self.rows.keys()
+
+    def merge_row(self, row: Mapping[str, Any]) -> None:
+        """Monotone upsert used by MergeRowEffect and by replication."""
+        entity = self.entity
+        filled = entity.new_row(**dict(row))
+        key = filled[entity.key]
+        existing = self.rows.get(key)
+        if existing is None:
+            self.rows[key] = filled
+            return
+        for spec in entity.fields:
+            incoming = filled[spec.name]
+            if spec.is_lattice:
+                existing[spec.name] = existing[spec.name].merge(incoming)
+            elif existing[spec.name] is None and incoming is not None:
+                existing[spec.name] = incoming
+
+    def merge_field(self, key: Hashable, field_name: str, value: Lattice) -> None:
+        spec = self.entity.field_spec(field_name)
+        if not spec.is_lattice:
+            raise SpecificationError(
+                f"field {field_name!r} of table {self.decl.name!r} is not lattice-typed; "
+                "use an assign effect instead"
+            )
+        row = self.rows.get(key)
+        if row is None:
+            row = self.entity.new_row(**{self.entity.key: key})
+            self.rows[key] = row
+        row[field_name] = row[field_name].merge(value)
+
+    def assign_field(self, key: Hashable, field_name: str, value: Any) -> None:
+        self.entity.field_spec(field_name)
+        row = self.rows.get(key)
+        if row is None:
+            row = self.entity.new_row(**{self.entity.key: key})
+            self.rows[key] = row
+        row[field_name] = value
+
+    def delete(self, key: Hashable) -> None:
+        self.rows.pop(key, None)
+
+    def snapshot(self) -> "TableState":
+        clone = TableState(self.decl)
+        clone.rows = copy.deepcopy(self.rows)
+        return clone
+
+
+class ProgramState:
+    """All tables and vars of one program replica."""
+
+    def __init__(self, datamodel: DataModel) -> None:
+        self.datamodel = datamodel
+        self.tables: dict[str, TableState] = {
+            name: TableState(decl) for name, decl in datamodel.tables.items()
+        }
+        self.vars: dict[str, Any] = {
+            name: decl.initial_value() for name, decl in datamodel.vars.items()
+        }
+
+    # -- reads ------------------------------------------------------------------
+
+    def table(self, name: str) -> TableState:
+        if name not in self.tables:
+            raise SpecificationError(f"unknown table {name!r}")
+        return self.tables[name]
+
+    def var(self, name: str) -> Any:
+        if name not in self.vars:
+            raise SpecificationError(f"unknown var {name!r}")
+        return self.vars[name]
+
+    # -- effect application -----------------------------------------------------
+
+    def apply(self, effect: Effect) -> None:
+        """Apply one deferred effect; sends/responses are not state changes."""
+        if isinstance(effect, MergeRowEffect):
+            self.table(effect.table).merge_row(effect.row)
+        elif isinstance(effect, MergeFieldEffect):
+            self.table(effect.table).merge_field(effect.key, effect.field_name, effect.value)
+        elif isinstance(effect, AssignFieldEffect):
+            self.table(effect.table).assign_field(effect.key, effect.field_name, effect.value)
+        elif isinstance(effect, DeleteRowEffect):
+            self.table(effect.table).delete(effect.key)
+        elif isinstance(effect, MergeVarEffect):
+            decl = self.datamodel.var(effect.var)
+            if not decl.is_lattice:
+                raise SpecificationError(
+                    f"var {effect.var!r} is not lattice-typed; merge is undefined"
+                )
+            self.vars[effect.var] = self.vars[effect.var].merge(effect.value)
+        elif isinstance(effect, AssignVarEffect):
+            self.datamodel.var(effect.var)
+            self.vars[effect.var] = effect.value
+        elif isinstance(effect, (SendEffect, ResponseEffect)):
+            raise SpecificationError(
+                f"{type(effect).__name__} is a communication effect, not a state change"
+            )
+        else:  # pragma: no cover - future effect kinds
+            raise SpecificationError(f"unknown effect type {type(effect).__name__}")
+
+    def apply_all(self, effects: Iterable[Effect]) -> None:
+        for effect in effects:
+            self.apply(effect)
+
+    def snapshot(self) -> "ProgramState":
+        clone = ProgramState(self.datamodel)
+        clone.tables = {name: table.snapshot() for name, table in self.tables.items()}
+        clone.vars = copy.deepcopy(self.vars)
+        return clone
+
+    def merge_from(self, other: "ProgramState") -> None:
+        """Merge another replica's state into this one (anti-entropy/gossip).
+
+        Lattice fields and vars merge; plain fields and vars keep the local
+        value when present (last-writer wins is handled at a higher level by
+        consistency protocols, not by blind state merge).
+        """
+        for name, other_table in other.tables.items():
+            local = self.table(name)
+            for row in other_table:
+                local.merge_row(row)
+        for name, value in other.vars.items():
+            decl = self.datamodel.var(name)
+            if decl.is_lattice:
+                self.vars[name] = self.vars[name].merge(value)
+            elif self.vars[name] is None:
+                self.vars[name] = value

@@ -1,0 +1,14 @@
+"""A FaaS baseline substrate (§1, §9).
+
+The paper's stated initial bar for Hydro is "performance and cost at the
+level of FaaS offerings that users tolerate today".  To have that baseline,
+this package simulates a first-generation Functions-as-a-Service platform:
+stateless workers with cold starts, every piece of state read from and
+written to remote storage on each invocation, and per-invocation billing.
+The E11 benchmark compares a Hydro deployment of the COVID program against
+this baseline on the same simulated cluster.
+"""
+
+from repro.faas.platform import FaaSPlatform, FaaSConfig, InvocationResult
+
+__all__ = ["FaaSPlatform", "FaaSConfig", "InvocationResult"]

@@ -1,0 +1,163 @@
+"""The simulated FaaS platform: stateless functions over remote state.
+
+The model captures the three costs the serverless critique (Hellerstein et
+al., CIDR'19) identifies and the paper inherits as its baseline:
+
+* **cold starts** — a worker that has not run a function recently pays a
+  start-up delay before executing;
+* **shipping state** — functions are stateless, so every invocation incurs
+  remote-storage round trips proportional to the state it touches; and
+* **per-invocation billing** — cost is (duration × memory price) + storage
+  operation charges.
+
+Handlers of a :class:`~repro.core.program.HydroProgram` run unchanged: the
+platform wraps each invocation in a fresh single-request interpreter whose
+state is loaded from and stored back to the storage service, which keeps the
+program semantics identical to the Hydro deployment while exhibiting FaaS
+cost/latency behaviour.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional
+
+from repro.cluster.metrics import MetricsRegistry
+from repro.cluster.simulator import Simulator
+from repro.core.interpreter import SingleNodeInterpreter
+from repro.core.program import HydroProgram
+
+
+@dataclass
+class FaaSConfig:
+    """Latency and billing knobs of the simulated platform."""
+
+    cold_start_ms: float = 250.0
+    warm_start_ms: float = 5.0
+    keep_warm_ms: float = 5000.0
+    storage_round_trip_ms: float = 8.0
+    execution_ms: float = 2.0
+    price_per_gb_second: float = 0.0000166667
+    memory_gb: float = 0.25
+    price_per_storage_op: float = 0.0000004
+    max_concurrency: int = 100
+
+
+@dataclass
+class InvocationResult:
+    """What one FaaS invocation produced."""
+
+    handler: str
+    value: Any
+    latency_ms: float
+    billed_cost: float
+    cold_start: bool
+    storage_ops: int
+    rejected: bool = False
+    detail: str = ""
+
+
+@dataclass
+class _Worker:
+    worker_id: int
+    last_used_ms: float = -1.0e12
+
+
+class FaaSPlatform:
+    """A simulated first-generation FaaS deployment of a HydroProgram."""
+
+    def __init__(self, program: HydroProgram, config: FaaSConfig | None = None,
+                 simulator: Simulator | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.program = program
+        self.config = config or FaaSConfig()
+        self.simulator = simulator or Simulator(seed=17)
+        self.metrics = metrics or MetricsRegistry()
+        # The "remote storage" is a single authoritative interpreter state:
+        # functions are stateless, so all state lives behind storage round trips.
+        self._storage_interpreter = SingleNodeInterpreter(program, node_id="faas-storage")
+        self._workers: dict[str, list[_Worker]] = {name: [] for name in program.handlers}
+        self._clock_ms = 0.0
+        self._ids = itertools.count()
+        self.invocations: list[InvocationResult] = []
+
+    # -- invocation ---------------------------------------------------------------------
+
+    def invoke(self, handler: str, **args: Any) -> InvocationResult:
+        """Invoke a function synchronously and account for its cost."""
+        if handler not in self.program.handlers:
+            raise KeyError(f"no FaaS function for handler {handler!r}")
+        config = self.config
+
+        cold = not self._acquire_warm_worker(handler)
+        start_latency = config.cold_start_ms if cold else config.warm_start_ms
+
+        # Count the storage round trips: one read per state the handler reads,
+        # one write per state it declares an effect on.
+        handler_spec = self.program.handlers[handler]
+        reads = len(handler_spec.reads) or 1
+        writes = len({spec.target for spec in handler_spec.effects
+                      if spec.kind.value in ("merge", "assign", "delete")})
+        storage_ops = reads + writes
+
+        request = self._storage_interpreter.call(handler, **args)
+        outcome = self._storage_interpreter.run_tick()
+        rejected = request in outcome.rejected
+
+        latency = (
+            start_latency
+            + storage_ops * config.storage_round_trip_ms
+            + config.execution_ms
+        )
+        duration_seconds = latency / 1000.0
+        cost = (
+            duration_seconds * config.memory_gb * config.price_per_gb_second
+            + storage_ops * config.price_per_storage_op
+        )
+        self._clock_ms += latency
+
+        result = InvocationResult(
+            handler=handler,
+            value=outcome.responses.get(request),
+            latency_ms=latency,
+            billed_cost=cost,
+            cold_start=cold,
+            storage_ops=storage_ops,
+            rejected=rejected,
+            detail=outcome.rejected.get(request, ""),
+        )
+        self.invocations.append(result)
+        self.metrics.increment("faas.invocations")
+        self.metrics.increment("faas.cost", cost)
+        self.metrics.record_latency(f"faas.{handler}", latency)
+        if cold:
+            self.metrics.increment("faas.cold_starts")
+        return result
+
+    # -- worker pool ---------------------------------------------------------------------
+
+    def _acquire_warm_worker(self, handler: str) -> bool:
+        """Find (or create) a worker; returns True if it was warm."""
+        pool = self._workers[handler]
+        for worker in pool:
+            if self._clock_ms - worker.last_used_ms <= self.config.keep_warm_ms:
+                worker.last_used_ms = self._clock_ms
+                return True
+        if len(pool) < self.config.max_concurrency:
+            pool.append(_Worker(worker_id=next(self._ids), last_used_ms=self._clock_ms))
+        else:
+            pool[0].last_used_ms = self._clock_ms
+        return False
+
+    # -- reporting -----------------------------------------------------------------------
+
+    def total_cost(self) -> float:
+        return self.metrics.counter("faas.cost")
+
+    def mean_latency(self, handler: str) -> float:
+        return self.metrics.latency(f"faas.{handler}").mean
+
+    def view(self):
+        """Read-only view over the authoritative (storage) state."""
+        return self._storage_interpreter.view()

@@ -1,0 +1,117 @@
+"""Lattice-aware Hydroflow operators.
+
+The paper's key algebra-design goal (§8.1) is that lattices beyond
+collection types flow through the graph the same way sets do: a COUNT over a
+set should pipeline as an integer lattice.  These operators make that
+concrete:
+
+* :class:`LatticeMergeOperator` folds arriving lattice points into a growing
+  state and emits the state only when it actually grew, so downstream
+  operators see a monotone stream of ever-larger values.
+* :class:`LatticeMapOperator` applies a (declared-monotone) function to each
+  arriving lattice point.
+* :class:`LatticeThresholdOperator` is the monotone-to-boolean bridge: it
+  emits once, when the accumulated lattice state first passes a threshold
+  predicate.  Thresholds are where coordination concerns appear, because a
+  threshold read is only deterministic when the input has stopped growing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.lattices.base import BOTTOM, Lattice
+from repro.hydroflow.operators import Operator
+
+
+class LatticeMergeOperator(Operator):
+    """Accumulates arriving lattice values into a single growing state."""
+
+    def __init__(self, name: str, initial: Lattice | None = None, persistent: bool = True) -> None:
+        super().__init__(name)
+        self.persistent = persistent
+        self._initial = initial
+        self._state: Any = initial if initial is not None else BOTTOM
+
+    def process(self, port: str, batch: list[Any]) -> list[Any]:
+        self.items_processed += len(batch)
+        grew = False
+        for item in batch:
+            if not isinstance(item, Lattice):
+                raise TypeError(
+                    f"lattice merge {self.name!r} received non-lattice item {item!r}"
+                )
+            merged = self._state.merge(item)
+            if merged != self._state:
+                self._state = merged
+                grew = True
+        return [self._state] if grew else []
+
+    @property
+    def state(self) -> Any:
+        return self._state
+
+    def end_of_tick(self) -> None:
+        if not self.persistent:
+            self._state = self._initial if self._initial is not None else BOTTOM
+
+
+class LatticeMapOperator(Operator):
+    """Applies a function to each arriving lattice value.
+
+    The function should be monotone for the overall flow to remain monotone;
+    the HydroLogic monotonicity checker verifies declarations, and this
+    operator simply records whether the function was declared monotone so
+    compiler passes can inspect the property.
+    """
+
+    def __init__(self, name: str, func: Callable[[Any], Any], declared_monotone: bool = True) -> None:
+        super().__init__(name)
+        self.func = func
+        self.declared_monotone = declared_monotone
+
+    def process(self, port: str, batch: list[Any]) -> list[Any]:
+        self.items_processed += len(batch)
+        return [self.func(item) for item in batch]
+
+
+class LatticeThresholdOperator(Operator):
+    """Fires once when the accumulated lattice state satisfies a predicate.
+
+    The predicate must be upward-closed (once true it stays true as the
+    lattice grows); that is what makes the single emission deterministic and
+    is the algebraic content of "sealing" and other threshold tests.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        predicate: Callable[[Any], bool],
+        initial: Lattice | None = None,
+        emit: Callable[[Any], Any] | None = None,
+    ) -> None:
+        super().__init__(name)
+        self.predicate = predicate
+        self.emit = emit or (lambda state: state)
+        self._state: Any = initial if initial is not None else BOTTOM
+        self.fired = False
+
+    def process(self, port: str, batch: list[Any]) -> list[Any]:
+        self.items_processed += len(batch)
+        for item in batch:
+            if not isinstance(item, Lattice):
+                raise TypeError(
+                    f"threshold {self.name!r} received non-lattice item {item!r}"
+                )
+            self._state = self._state.merge(item)
+        if not self.fired and self.predicate(self._state):
+            self.fired = True
+            return [self.emit(self._state)]
+        return []
+
+    @property
+    def state(self) -> Any:
+        return self._state
+
+    def end_of_tick(self) -> None:
+        """Threshold state persists across ticks; firing is once per lifetime."""

@@ -1,0 +1,113 @@
+"""Network ingress and egress operators.
+
+Hydroflow fragments running on different simulated nodes communicate only
+through these operators (§8.1): inbound messages appear at an
+:class:`IngressOperator`, and an :class:`EgressOperator` hands outbound
+items to an addressing function that decides the destination node — either
+explicit point-to-point addressing or a content-hash ("shard by key") style,
+exactly the two working models the paper sketches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Sequence
+
+from repro.hydroflow.operators import Operator
+
+
+class IngressOperator(Operator):
+    """Entry point for messages arriving from the network.
+
+    The hosting node's transport pushes payloads into :meth:`enqueue`; the
+    scheduler drains them at the start of the next tick, which is what gives
+    sends their "visible at a later tick" semantics.
+    """
+
+    def __init__(self, name: str, mailbox: str) -> None:
+        super().__init__(name)
+        self.mailbox = mailbox
+        self._queue: list[Any] = []
+
+    def enqueue(self, payload: Any) -> None:
+        self._queue.append(payload)
+
+    def drain(self) -> list[Any]:
+        items, self._queue = self._queue, []
+        self.items_processed += len(items)
+        return items
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._queue)
+
+    def process(self, port: str, batch: list[Any]) -> list[Any]:
+        # Ingress operators can also be fed locally (loopback edges).
+        self.items_processed += len(batch)
+        return list(batch)
+
+
+class EgressOperator(Operator):
+    """Exit point: routes items to destination nodes via an address function.
+
+    ``address`` maps an item to a destination node id (point-to-point) or to
+    a sequence of node ids (broadcast / replication).  The actual transport
+    send is performed by ``transport(destination, mailbox, payload)``, which
+    the deployment layer binds to the simulated network.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        mailbox: str,
+        address: Callable[[Any], Hashable | Sequence[Hashable]],
+        transport: Callable[[Hashable, str, Any], None] | None = None,
+    ) -> None:
+        super().__init__(name)
+        self.mailbox = mailbox
+        self.address = address
+        self.transport = transport
+        self.sent: list[tuple[Hashable, Any]] = []
+
+    def bind_transport(self, transport: Callable[[Hashable, str, Any], None]) -> None:
+        self.transport = transport
+
+    def process(self, port: str, batch: list[Any]) -> list[Any]:
+        self.items_processed += len(batch)
+        for item in batch:
+            destinations = self.address(item)
+            if isinstance(destinations, (str, bytes)) or not isinstance(destinations, (list, tuple, set, frozenset)):
+                destinations = [destinations]
+            for destination in destinations:
+                self.sent.append((destination, item))
+                if self.transport is not None:
+                    self.transport(destination, self.mailbox, item)
+        return []
+
+    def end_of_tick(self) -> None:
+        self.sent = []
+
+
+def hash_address(destinations: Sequence[Hashable], key: Callable[[Any], Hashable]) -> Callable[[Any], Hashable]:
+    """Content-hash addressing: route each item to ``destinations[hash(key) % n]``.
+
+    This is the Exchange-style partitioning primitive used for sharded
+    deployment of a flow.
+    """
+    nodes = list(destinations)
+    if not nodes:
+        raise ValueError("hash_address requires at least one destination")
+
+    def address(item: Any) -> Hashable:
+        return nodes[hash(key(item)) % len(nodes)]
+
+    return address
+
+
+def broadcast_address(destinations: Sequence[Hashable]) -> Callable[[Any], Sequence[Hashable]]:
+    """Broadcast addressing: every item goes to every destination (replication)."""
+    nodes = list(destinations)
+
+    def address(item: Any) -> Sequence[Hashable]:
+        return nodes
+
+    return address

@@ -1,0 +1,197 @@
+"""The tick scheduler: stratified fixpoint execution of a flow graph.
+
+Each tick proceeds stratum by stratum.  Within a stratum the scheduler runs
+a worklist loop — operators with pending input are run, their outputs pushed
+to downstream buffers — until no items move (the fixpoint).  Blocking
+operators (folds, the negative side of a difference) are assigned to later
+strata than their producers, reproducing stratified-negation/aggregation
+semantics.  After the last stratum, every operator's ``end_of_tick`` runs,
+which is where non-persistent state is cleared and deferred effects become
+visible — the transducer model of the paper's §3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.hydroflow.graph import FlowGraph, Port
+from repro.hydroflow.operators import (
+    DifferenceOperator,
+    FoldOperator,
+    Operator,
+    SinkOperator,
+    SourceOperator,
+)
+from repro.hydroflow.network_ops import IngressOperator
+
+
+@dataclass
+class TickResult:
+    """Summary of one tick's execution."""
+
+    tick: int
+    rounds: int
+    items_moved: int
+    strata: int
+    quiesced: bool = True
+
+    def __repr__(self) -> str:
+        return (
+            f"TickResult(tick={self.tick}, rounds={self.rounds}, "
+            f"items={self.items_moved}, strata={self.strata})"
+        )
+
+
+def blocking_ports(operator: Operator) -> set[str]:
+    """Ports whose upstream must be complete before the operator's output is valid."""
+    if isinstance(operator, FoldOperator):
+        return {"in"}
+    if isinstance(operator, DifferenceOperator):
+        return {"neg"}
+    return set()
+
+
+class TickScheduler:
+    """Executes a :class:`FlowGraph` one tick at a time."""
+
+    def __init__(self, graph: FlowGraph, max_rounds: int = 100_000) -> None:
+        self.graph = graph
+        self.max_rounds = max_rounds
+        self.tick_count = 0
+        self._buffers: dict[Port, list[Any]] = {}
+        self._strata = self._assign_strata()
+
+    # -- stratification ---------------------------------------------------------
+
+    def _assign_strata(self) -> dict[str, int]:
+        """Assign each operator a stratum number.
+
+        stratum(op) >= stratum(upstream) always, and strictly greater when
+        the edge enters a blocking port.  A cycle through a blocking edge is
+        non-stratifiable and rejected, mirroring stratified negation.
+        """
+        strata = {name: 0 for name in self.graph.operator_names()}
+        operators = {name: self.graph.operator(name) for name in strata}
+        # Bellman-Ford style relaxation; |V| iterations suffice for acyclic
+        # constraint graphs, more indicates a blocking cycle.
+        for iteration in range(len(strata) + 1):
+            changed = False
+            for edge in self.graph.edges():
+                target_op = operators[edge.target.operator]
+                bump = 1 if edge.target.name in blocking_ports(target_op) else 0
+                required = strata[edge.source] + bump
+                if strata[edge.target.operator] < required:
+                    strata[edge.target.operator] = required
+                    changed = True
+            if not changed:
+                return strata
+        raise ValueError(
+            f"flow graph {self.graph.name!r} is not stratifiable: "
+            "a cycle passes through a blocking (aggregation/negation) port"
+        )
+
+    @property
+    def strata(self) -> dict[str, int]:
+        return dict(self._strata)
+
+    # -- tick execution ---------------------------------------------------------
+
+    def run_tick(self) -> TickResult:
+        """Run one tick: drain sources/ingresses, run strata to fixpoint."""
+        self.tick_count += 1
+        total_items = 0
+        total_rounds = 0
+
+        # Seed buffers from sources and ingress queues.
+        for operator in self.graph.operators():
+            if isinstance(operator, SourceOperator) and operator.has_pending:
+                self._emit(operator.name, operator.drain())
+            elif isinstance(operator, IngressOperator) and operator.has_pending:
+                self._emit(operator.name, operator.drain())
+
+        max_stratum = max(self._strata.values(), default=0)
+        for stratum in range(max_stratum + 1):
+            members = {
+                name for name, level in self._strata.items() if level == stratum
+            }
+            rounds, items = self._run_stratum(members)
+            total_rounds += rounds
+            total_items += items
+            # Blocking operators release their results once the stratum quiesces.
+            flushed_any = False
+            for name in sorted(members):
+                flushed = self.graph.operator(name).flush()
+                if flushed:
+                    self._emit(name, flushed)
+                    flushed_any = True
+            if flushed_any:
+                rounds, items = self._run_stratum(
+                    {n for n, level in self._strata.items() if level >= stratum}
+                )
+                total_rounds += rounds
+                total_items += items
+
+        for operator in self.graph.operators():
+            operator.end_of_tick()
+
+        return TickResult(
+            tick=self.tick_count,
+            rounds=total_rounds,
+            items_moved=total_items,
+            strata=max_stratum + 1,
+        )
+
+    def run_ticks(self, count: int) -> list[TickResult]:
+        return [self.run_tick() for _ in range(count)]
+
+    # -- internals --------------------------------------------------------------
+
+    def _emit(self, operator_name: str, items: list[Any]) -> None:
+        if not items:
+            return
+        for port in self.graph.downstream_ports(operator_name):
+            self._buffers.setdefault(port, []).extend(items)
+
+    def _run_stratum(self, members: set[str]) -> tuple[int, int]:
+        rounds = 0
+        items_moved = 0
+        while True:
+            pending = [
+                port
+                for port, batch in self._buffers.items()
+                if batch and port.operator in members
+            ]
+            if not pending:
+                return rounds, items_moved
+            rounds += 1
+            if rounds > self.max_rounds:
+                raise RuntimeError(
+                    f"tick did not reach fixpoint within {self.max_rounds} rounds; "
+                    "likely a non-monotone cycle in the flow"
+                )
+            for port in pending:
+                batch = self._buffers.get(port, [])
+                if not batch:
+                    continue
+                self._buffers[port] = []
+                items_moved += len(batch)
+                operator = self.graph.operator(port.operator)
+                output = operator.process(port.name, batch)
+                self._emit(port.operator, output)
+
+    # -- conveniences -----------------------------------------------------------
+
+    def push(self, source_name: str, items: list[Any]) -> None:
+        """Push items into a named source operator for the next tick."""
+        operator = self.graph.operator(source_name)
+        if not isinstance(operator, SourceOperator):
+            raise TypeError(f"{source_name!r} is not a SourceOperator")
+        operator.push(items)
+
+    def collected(self, sink_name: str) -> list[Any]:
+        """Return the items currently collected at a named sink."""
+        operator = self.graph.operator(sink_name)
+        if not isinstance(operator, SinkOperator):
+            raise TypeError(f"{sink_name!r} is not a SinkOperator")
+        return list(operator.collected)

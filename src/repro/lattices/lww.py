@@ -1,0 +1,73 @@
+"""Last-writer-wins registers.
+
+A LWW register totally orders updates by a (timestamp, tiebreak) pair and
+keeps the largest.  It is the standard way to wrap an arbitrary, otherwise
+non-lattice value into a lattice: merge is associative, commutative and
+idempotent because it is just "max by timestamp".  The cost is that
+concurrent writes are resolved arbitrarily (by the tiebreak), which is why
+the paper treats bare assignment (``:=``) as a non-monotone mutation that may
+need coordination when applications care about which write wins.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.lattices.base import Lattice
+
+
+class LWWRegister(Lattice):
+    """A register keeping the value with the largest (timestamp, tiebreak)."""
+
+    __slots__ = ("timestamp", "tiebreak", "value")
+
+    def __init__(
+        self,
+        timestamp: float = float("-inf"),
+        value: Any = None,
+        tiebreak: Hashable = "",
+    ) -> None:
+        self.timestamp = timestamp
+        self.value = value
+        self.tiebreak = tiebreak
+
+    def merge(self, other: "LWWRegister") -> "LWWRegister":
+        # The final repr(value) component makes the order total even when two
+        # writes collide on (timestamp, tiebreak), which keeps merge
+        # commutative in the degenerate case of duplicate tags.
+        self_key = (self.timestamp, _tiebreak_key(self.tiebreak), repr(self.value))
+        other_key = (other.timestamp, _tiebreak_key(other.tiebreak), repr(other.value))
+        if self_key >= other_key:
+            return LWWRegister(self.timestamp, self.value, self.tiebreak)
+        return LWWRegister(other.timestamp, other.value, other.tiebreak)
+
+    @classmethod
+    def bottom(cls) -> "LWWRegister":
+        return cls()
+
+    def write(self, timestamp: float, value: Any, tiebreak: Hashable = "") -> "LWWRegister":
+        """Return the register after merging in a new timestamped write."""
+        return self.merge(LWWRegister(timestamp, value, tiebreak))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LWWRegister)
+            and self.timestamp == other.timestamp
+            and self.value == other.value
+            and self.tiebreak == other.tiebreak
+        )
+
+    def __hash__(self) -> int:
+        try:
+            value_hash = hash(self.value)
+        except TypeError:
+            value_hash = hash(repr(self.value))
+        return hash(("LWWRegister", self.timestamp, value_hash, self.tiebreak))
+
+    def __repr__(self) -> str:
+        return f"LWWRegister(t={self.timestamp}, value={self.value!r})"
+
+
+def _tiebreak_key(tiebreak: Hashable) -> str:
+    """Normalise tiebreaks to strings so heterogeneous ids stay comparable."""
+    return str(tiebreak)

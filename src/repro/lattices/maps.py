@@ -1,0 +1,84 @@
+"""Map lattices: key-to-lattice dictionaries merged pointwise.
+
+``MapLattice`` is the composition workhorse: the Anna-style KVS, HydroLogic
+tables keyed by primary key, and per-actor state are all maps whose values
+are themselves lattices.  Merging two maps unions their key sets and merges
+values pointwise, which preserves the semilattice laws whenever the value
+type does.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Mapping
+
+from repro.lattices.base import Lattice
+
+
+class MapLattice(Lattice):
+    """A map from hashable keys to lattice values, merged pointwise."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: Mapping[Hashable, Lattice] | None = None) -> None:
+        items = dict(entries) if entries else {}
+        for key, value in items.items():
+            if not isinstance(value, Lattice):
+                raise TypeError(
+                    f"MapLattice values must be Lattice instances; "
+                    f"key {key!r} maps to {value!r}"
+                )
+        self.entries: dict[Hashable, Lattice] = items
+
+    def merge(self, other: "MapLattice") -> "MapLattice":
+        merged = dict(self.entries)
+        for key, value in other.entries.items():
+            if key in merged:
+                merged[key] = merged[key].merge(value)
+            else:
+                merged[key] = value
+        return MapLattice(merged)
+
+    @classmethod
+    def bottom(cls) -> "MapLattice":
+        return cls()
+
+    # -- monotone update helpers ------------------------------------------------
+
+    def insert(self, key: Hashable, value: Lattice) -> "MapLattice":
+        """Return a new map with ``value`` merged into ``key``'s entry."""
+        return self.merge(MapLattice({key: value}))
+
+    def get(self, key: Hashable, default: Lattice | None = None) -> Lattice | None:
+        return self.entries.get(key, default)
+
+    def keys(self):
+        return self.entries.keys()
+
+    def values(self):
+        return self.entries.values()
+
+    def items(self):
+        return self.entries.items()
+
+    def __getitem__(self, key: Hashable) -> Lattice:
+        return self.entries[key]
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self.entries
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MapLattice) and self.entries == other.entries
+
+    def __hash__(self) -> int:
+        return hash(("MapLattice", frozenset(self.entries.items())))
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{key!r}: {value!r}" for key, value in sorted(
+            self.entries.items(), key=lambda item: repr(item[0])))
+        return f"MapLattice({{{body}}})"

@@ -1,0 +1,159 @@
+"""Composite lattices: pairs, labelled products and dominating pairs.
+
+Products of lattices are themselves lattices under componentwise merge; the
+``DominatingPair`` is the classic construction (used by Bloom^L and by the
+Anna KVS) where a "clock" component decides which "value" component wins,
+letting non-monotone-looking overwrite semantics ride on top of a real
+lattice.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.lattices.base import Lattice
+
+
+class PairLattice(Lattice):
+    """A pair of lattices merged componentwise."""
+
+    __slots__ = ("first", "second")
+
+    def __init__(self, first: Lattice, second: Lattice) -> None:
+        if not isinstance(first, Lattice) or not isinstance(second, Lattice):
+            raise TypeError("PairLattice components must be Lattice instances")
+        self.first = first
+        self.second = second
+
+    def merge(self, other: "PairLattice") -> "PairLattice":
+        return PairLattice(self.first.merge(other.first), self.second.merge(other.second))
+
+    @classmethod
+    def bottom(cls) -> "PairLattice":
+        raise TypeError(
+            "PairLattice.bottom() is undefined without component types; "
+            "construct it explicitly from component bottoms"
+        )
+
+    def is_bottom(self) -> bool:
+        return self.first.is_bottom() and self.second.is_bottom()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PairLattice)
+            and self.first == other.first
+            and self.second == other.second
+        )
+
+    def __hash__(self) -> int:
+        return hash(("PairLattice", self.first, self.second))
+
+    def __repr__(self) -> str:
+        return f"PairLattice({self.first!r}, {self.second!r})"
+
+
+class ProductLattice(Lattice):
+    """A labelled product of lattices merged fieldwise.
+
+    Missing fields on either side are treated as the other side's value,
+    which makes ``ProductLattice({})`` behave as a usable bottom.
+    """
+
+    __slots__ = ("fields",)
+
+    def __init__(self, fields: Mapping[str, Lattice] | None = None) -> None:
+        items = dict(fields) if fields else {}
+        for name, value in items.items():
+            if not isinstance(value, Lattice):
+                raise TypeError(
+                    f"ProductLattice field {name!r} must be a Lattice, got {value!r}"
+                )
+        self.fields: dict[str, Lattice] = items
+
+    def merge(self, other: "ProductLattice") -> "ProductLattice":
+        merged = dict(self.fields)
+        for name, value in other.fields.items():
+            if name in merged:
+                merged[name] = merged[name].merge(value)
+            else:
+                merged[name] = value
+        return ProductLattice(merged)
+
+    @classmethod
+    def bottom(cls) -> "ProductLattice":
+        return cls()
+
+    def get(self, name: str, default: Lattice | None = None) -> Lattice | None:
+        return self.fields.get(name, default)
+
+    def with_field(self, name: str, value: Lattice) -> "ProductLattice":
+        """Return a new product with ``value`` merged into field ``name``."""
+        return self.merge(ProductLattice({name: value}))
+
+    def __getitem__(self, name: str) -> Lattice:
+        return self.fields[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.fields
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ProductLattice) and self.fields == other.fields
+
+    def __hash__(self) -> int:
+        return hash(("ProductLattice", frozenset(self.fields.items())))
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{name}={value!r}" for name, value in sorted(self.fields.items()))
+        return f"ProductLattice({body})"
+
+
+class DominatingPair(Lattice):
+    """A (clock, value) pair where the larger clock's value wins.
+
+    When the clocks are ordered, the dominant side's value is kept verbatim;
+    when they are concurrent (neither dominates), both clocks and both
+    values are merged.  The clock and value components must themselves be
+    lattices.
+    """
+
+    __slots__ = ("clock", "value")
+
+    def __init__(self, clock: Lattice, value: Lattice) -> None:
+        if not isinstance(clock, Lattice) or not isinstance(value, Lattice):
+            raise TypeError("DominatingPair components must be Lattice instances")
+        self.clock = clock
+        self.value = value
+
+    def merge(self, other: "DominatingPair") -> "DominatingPair":
+        self_dominates = other.clock.leq(self.clock)
+        other_dominates = self.clock.leq(other.clock)
+        if self_dominates and not other_dominates:
+            return DominatingPair(self.clock, self.value)
+        if other_dominates and not self_dominates:
+            return DominatingPair(other.clock, other.value)
+        return DominatingPair(
+            self.clock.merge(other.clock), self.value.merge(other.value)
+        )
+
+    @classmethod
+    def bottom(cls) -> "DominatingPair":
+        raise TypeError(
+            "DominatingPair.bottom() is undefined without component types; "
+            "construct it explicitly from component bottoms"
+        )
+
+    def is_bottom(self) -> bool:
+        return self.clock.is_bottom() and self.value.is_bottom()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DominatingPair)
+            and self.clock == other.clock
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash(("DominatingPair", self.clock, self.value))
+
+    def __repr__(self) -> str:
+        return f"DominatingPair(clock={self.clock!r}, value={self.value!r})"

@@ -1,0 +1,139 @@
+"""Primitive scalar lattices: booleans under OR/AND and numbers under max/min.
+
+These are the smallest useful lattices and the building blocks for larger
+composites.  ``MaxInt``/``MinInt`` accept any totally ordered numeric value
+(ints and floats), matching the paper's use of counters, timestamps and
+thresholds as lattice points.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.lattices.base import Lattice
+
+Number = Union[int, float]
+
+
+class BoolOr(Lattice):
+    """Boolean lattice under logical OR; bottom is False.
+
+    Used for monotone "flag" state such as ``covid`` / ``vaccinated`` in the
+    paper's running example: once set to True a flag never reverts.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool = False) -> None:
+        self.value = bool(value)
+
+    def merge(self, other: "BoolOr") -> "BoolOr":
+        return BoolOr(self.value or other.value)
+
+    @classmethod
+    def bottom(cls) -> "BoolOr":
+        return cls(False)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BoolOr) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("BoolOr", self.value))
+
+    def __bool__(self) -> bool:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"BoolOr({self.value})"
+
+
+class BoolAnd(Lattice):
+    """Boolean lattice under logical AND; bottom is True.
+
+    The dual of :class:`BoolOr`; useful for "all replicas agree" style
+    threshold conditions.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool = True) -> None:
+        self.value = bool(value)
+
+    def merge(self, other: "BoolAnd") -> "BoolAnd":
+        return BoolAnd(self.value and other.value)
+
+    @classmethod
+    def bottom(cls) -> "BoolAnd":
+        return cls(True)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BoolAnd) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("BoolAnd", self.value))
+
+    def __bool__(self) -> bool:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"BoolAnd({self.value})"
+
+
+class MaxInt(Lattice):
+    """Numeric lattice under ``max``; bottom is negative infinity.
+
+    Despite the name this accepts floats as well as ints, so it doubles as a
+    max-timestamp lattice.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Number = float("-inf")) -> None:
+        self.value = value
+
+    def merge(self, other: "MaxInt") -> "MaxInt":
+        return MaxInt(self.value if self.value >= other.value else other.value)
+
+    @classmethod
+    def bottom(cls) -> "MaxInt":
+        return cls(float("-inf"))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MaxInt) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("MaxInt", self.value))
+
+    def __int__(self) -> int:
+        return int(self.value)
+
+    def __repr__(self) -> str:
+        return f"MaxInt({self.value})"
+
+
+class MinInt(Lattice):
+    """Numeric lattice under ``min``; bottom is positive infinity."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Number = float("inf")) -> None:
+        self.value = value
+
+    def merge(self, other: "MinInt") -> "MinInt":
+        return MinInt(self.value if self.value <= other.value else other.value)
+
+    @classmethod
+    def bottom(cls) -> "MinInt":
+        return cls(float("inf"))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MinInt) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("MinInt", self.value))
+
+    def __int__(self) -> int:
+        return int(self.value)
+
+    def __repr__(self) -> str:
+        return f"MinInt({self.value})"

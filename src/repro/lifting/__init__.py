@@ -1,0 +1,39 @@
+"""Hydraulic: lifting legacy distributed design patterns to HydroLogic (§4, App. A).
+
+The paper's near-term lifting targets are stylised, popular patterns rather
+than arbitrary code.  Each submodule provides (a) a small runnable runtime
+for the legacy pattern, so a corpus of test programs can execute natively,
+and (b) a lifter that translates programs written against that pattern into
+a :class:`~repro.core.program.HydroProgram`, plus differential-testing
+helpers (:mod:`repro.lifting.verify`) that check the lifted program's
+observable behaviour matches the native runtime — the "auto-generate a
+corpus of test cases" validation story of §4.
+
+* :mod:`repro.lifting.actors` — actor classes with RPC-style and
+  mid-method-receive handlers (Appendix A.1).
+* :mod:`repro.lifting.futures` — Ray-style promises/futures (Appendix A.2).
+* :mod:`repro.lifting.mpi` — MPI collective communication patterns
+  (Appendix A.3), with naive and tree-based algorithms.
+* :mod:`repro.lifting.sequential` — ORM-flavoured sequential table programs
+  lifted into HydroLogic data models and handlers (§4's single-threaded
+  applications scenario).
+"""
+
+from repro.lifting.actors import ActorClass, ActorSystem, lift_actor_class
+from repro.lifting.futures import FutureRuntime, lift_future_program
+from repro.lifting.mpi import MPICluster, build_mpi_program
+from repro.lifting.sequential import SequentialTableProgram, lift_sequential_program
+from repro.lifting.verify import differential_check
+
+__all__ = [
+    "ActorClass",
+    "ActorSystem",
+    "lift_actor_class",
+    "FutureRuntime",
+    "lift_future_program",
+    "MPICluster",
+    "build_mpi_program",
+    "SequentialTableProgram",
+    "lift_sequential_program",
+    "differential_check",
+]

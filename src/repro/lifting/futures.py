@@ -1,0 +1,181 @@
+"""Promises and futures: a Ray-flavoured native runtime and its lifting
+(Appendix A.2).
+
+The native :class:`FutureRuntime` mimics the Ray snippet from the appendix:
+``remote(fn, *args)`` returns a :class:`Future` immediately, the promised
+computation runs "concurrently" (here: lazily, resolved on demand, which is
+observationally equivalent for deterministic functions), and ``get``
+resolves futures in batch.
+
+``lift_future_program`` produces the HydroLogic translation: a ``promises``
+table of pending invocations, a ``futures`` table of results, a ``start``
+handler that sends the promise batch and runs the local computation, and a
+``resolve`` handler that fires once all futures have arrived — waiting across
+ticks with a condition just as the appendix's listing does.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.datamodel import FieldSpec
+from repro.core.handlers import EffectKind, EffectSpec
+from repro.core.interpreter import SingleNodeInterpreter
+from repro.core.program import HydroProgram
+from repro.lattices import SetUnion
+
+
+@dataclass
+class Future:
+    """A handle to the eventual result of a promise."""
+
+    future_id: int
+    fn: Callable[..., Any]
+    args: tuple
+    resolved: bool = False
+    value: Any = None
+
+
+class FutureRuntime:
+    """The native promises/futures runtime (the lifting baseline)."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count()
+        self.futures: dict[int, Future] = {}
+
+    def remote(self, fn: Callable[..., Any], *args: Any) -> Future:
+        """Launch a promise; returns its future immediately."""
+        future = Future(next(self._ids), fn, args)
+        self.futures[future.future_id] = future
+        return future
+
+    def get(self, futures: Sequence[Future]) -> list[Any]:
+        """Resolve a batch of futures (blocking in the native model)."""
+        results = []
+        for future in futures:
+            if not future.resolved:
+                future.value = future.fn(*future.args)
+                future.resolved = True
+            results.append(future.value)
+        return results
+
+
+@dataclass
+class FutureProgramResult:
+    """The observable outcome of the appendix's promise/future example."""
+
+    local_result: Any
+    future_results: list[Any]
+
+
+def run_native_future_program(promised_fn: Callable[[int], Any], count: int,
+                              local_fn: Callable[[], Any]) -> FutureProgramResult:
+    """The Ray-style example run natively: promises launched, g() runs locally,
+    then futures are resolved in batch."""
+    runtime = FutureRuntime()
+    futures = [runtime.remote(promised_fn, i) for i in range(count)]
+    local_result = local_fn()
+    return FutureProgramResult(local_result, runtime.get(futures))
+
+
+def lift_future_program(promised_fn: Callable[[int], Any], count: int,
+                        local_fn: Callable[[], Any]) -> HydroProgram:
+    """Lift the promises/futures example into a HydroLogic program.
+
+    The PromisesEngine of the appendix is modelled as a UDF invoked by the
+    ``promise_worker`` handler; promises are *data* in the ``promises``
+    table, so alternative kickoff semantics (eager/lazy) are a matter of when
+    ``promise_worker`` messages are sent.
+    """
+    program = HydroProgram("lifted_futures")
+    program.add_class(
+        "Promise",
+        fields=[FieldSpec("handle", int), FieldSpec("argument")],
+        key="handle",
+    )
+    program.add_table("promises", "Promise")
+    program.add_class(
+        "FutureResult",
+        fields=[FieldSpec("handle", int), FieldSpec("result")],
+        key="handle",
+    )
+    program.add_table("futures", "FutureResult")
+    program.add_var("local_result", initial=None)
+    program.add_var("waiting", initial=False)
+
+    program.add_udf("promised_fn", promised_fn)
+    program.add_udf("local_fn", local_fn)
+
+    def start(ctx):
+        # Launch the promises: each becomes a row and an async message to the worker.
+        for handle in range(count):
+            ctx.merge_row("promises", handle=handle, argument=handle)
+            ctx.send("promise_worker", {"handle": handle, "argument": handle})
+        # Run the local computation g() while promises are outstanding.
+        ctx.assign_var("local_result", ctx.call_udf("local_fn"))
+        ctx.assign_var("waiting", True)
+        ctx.respond("started")
+
+    program.add_handler(
+        "start",
+        start,
+        effects=[
+            EffectSpec(EffectKind.MERGE, "promises"),
+            EffectSpec(EffectKind.SEND, "promise_worker"),
+            EffectSpec(EffectKind.ASSIGN, "local_result"),
+            EffectSpec(EffectKind.ASSIGN, "waiting"),
+        ],
+        reads=["promises"],
+        udfs=["local_fn"],
+        doc="Launch the promise batch and run the local computation.",
+    )
+
+    def promise_worker(ctx, handle, argument):
+        ctx.merge_row("futures", handle=handle, result=ctx.call_udf("promised_fn", argument))
+        ctx.respond(handle)
+
+    program.add_handler(
+        "promise_worker",
+        promise_worker,
+        params=["handle", "argument"],
+        effects=[EffectSpec(EffectKind.MERGE, "futures")],
+        reads=["promises"],
+        udfs=["promised_fn"],
+        doc="Execute one promise and record its future result.",
+    )
+
+    def resolve(ctx):
+        # The appendix's condition: futures.len() >= count.
+        if ctx.count("futures") >= count and ctx.var("waiting"):
+            results = [row["result"] for row in sorted(ctx.rows("futures"), key=lambda r: r["handle"])]
+            ctx.assign_var("waiting", False)
+            ctx.respond(FutureProgramResult(ctx.var("local_result"), results))
+        else:
+            ctx.respond(None)
+
+    program.add_handler(
+        "resolve",
+        resolve,
+        effects=[EffectSpec(EffectKind.ASSIGN, "waiting")],
+        reads=["futures", "local_result", "waiting"],
+        doc="Resolve the future batch once all results have arrived.",
+    )
+
+    program.validate()
+    return program
+
+
+def run_lifted_future_program(program: HydroProgram, max_ticks: int = 10) -> FutureProgramResult:
+    """Drive the lifted program to completion on the single-node interpreter."""
+    interpreter = SingleNodeInterpreter(program)
+    interpreter.call("start")
+    interpreter.run_tick()
+    # Promise messages land in later ticks (asynchronous sends); poll resolve.
+    for _ in range(max_ticks):
+        interpreter.run_tick()
+        result = interpreter.call_and_run("resolve")
+        if result is not None:
+            return result
+    raise RuntimeError("lifted future program did not resolve within the tick budget")

@@ -1,0 +1,224 @@
+"""Lifting ORM-style sequential table programs (§4's first scenario).
+
+The paper's most promising lifting corpus is single-threaded applications
+built on data-definition frameworks (Rails/Django ActiveRecord): the data
+model is already declarative, and methods are stylised insert / update /
+query operations.  :class:`SequentialTableProgram` captures that restricted
+shape — tables with typed columns and named methods composed from a small
+operation vocabulary — and :func:`lift_sequential_program` translates it
+into a HydroProgram:
+
+* inserts of new rows → monotone ``merge`` effects,
+* field overwrites → ``assign`` effects (non-monotone, flagged as such by
+  the monotonicity analysis),
+* lookups/filters → read-only handlers over queries.
+
+The operation vocabulary is deliberately the fragment verified lifting
+handles well; arbitrary Python bodies fall back to UDF encapsulation, which
+this module models with the ``udf`` operation kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.datamodel import FieldSpec
+from repro.core.handlers import EffectKind, EffectSpec
+from repro.core.program import HydroProgram
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column of an ORM-style table."""
+
+    name: str
+    py_type: type = object
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """An ORM-style table: columns plus a primary key."""
+
+    name: str
+    columns: tuple[ColumnSpec, ...]
+    key: str
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One statement of a sequential method, in the liftable vocabulary.
+
+    kinds:
+      ``insert``        — insert a new row built from the method's parameters
+      ``update_field``  — overwrite one column of the row identified by the key parameter
+      ``lookup``        — return the row identified by the key parameter
+      ``filter``        — return rows where ``column == parameter``
+      ``count``         — return the table's row count
+      ``udf``           — call an opaque Python function with the method's parameters
+    """
+
+    kind: str
+    table: str = ""
+    column: str = ""
+    key_param: str = ""
+    value_param: str = ""
+    fn: Optional[Callable[..., Any]] = None
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """A named sequential method: parameters plus a list of operations.
+
+    The method's return value is the result of its last operation (or None).
+    """
+
+    name: str
+    params: tuple[str, ...]
+    operations: tuple[Operation, ...]
+
+
+@dataclass
+class SequentialTableProgram:
+    """The full sequential program: tables plus methods (the lifting input)."""
+
+    name: str
+    tables: list[TableSpec] = field(default_factory=list)
+    methods: list[MethodSpec] = field(default_factory=list)
+
+    # -- a tiny native interpreter, used as the differential-testing baseline --------
+
+    def native_runtime(self) -> "NativeSequentialRuntime":
+        return NativeSequentialRuntime(self)
+
+
+class NativeSequentialRuntime:
+    """Executes a :class:`SequentialTableProgram` directly over Python dicts."""
+
+    def __init__(self, program: SequentialTableProgram) -> None:
+        self.program = program
+        self.tables: dict[str, dict[Any, dict]] = {spec.name: {} for spec in program.tables}
+        self._table_specs = {spec.name: spec for spec in program.tables}
+        self._methods = {method.name: method for method in program.methods}
+
+    def call(self, method_name: str, **kwargs: Any) -> Any:
+        method = self._methods[method_name]
+        result: Any = None
+        for operation in method.operations:
+            result = self._execute(operation, kwargs)
+        return result
+
+    def _execute(self, operation: Operation, kwargs: dict) -> Any:
+        if operation.kind == "insert":
+            spec = self._table_specs[operation.table]
+            row = {column.name: kwargs.get(column.name) for column in spec.columns}
+            self.tables[operation.table][row[spec.key]] = row
+            return row[spec.key]
+        if operation.kind == "update_field":
+            spec = self._table_specs[operation.table]
+            key = kwargs[operation.key_param]
+            if key in self.tables[operation.table]:
+                self.tables[operation.table][key][operation.column] = kwargs[operation.value_param]
+            return key
+        if operation.kind == "lookup":
+            key = kwargs[operation.key_param]
+            row = self.tables[operation.table].get(key)
+            return dict(row) if row else None
+        if operation.kind == "filter":
+            value = kwargs[operation.value_param]
+            return sorted(
+                (dict(row) for row in self.tables[operation.table].values()
+                 if row.get(operation.column) == value),
+                key=lambda r: repr(r.get(self._table_specs[operation.table].key)),
+            )
+        if operation.kind == "count":
+            return len(self.tables[operation.table])
+        if operation.kind == "udf":
+            return operation.fn(**kwargs)
+        raise ValueError(f"unknown operation kind {operation.kind!r}")
+
+
+def lift_sequential_program(program: SequentialTableProgram) -> HydroProgram:
+    """Lift a sequential table program into HydroLogic."""
+    lifted = HydroProgram(f"lifted_{program.name}")
+
+    for table in program.tables:
+        lifted.add_class(
+            table.name.capitalize(),
+            fields=[FieldSpec(column.name, column.py_type) for column in table.columns],
+            key=table.key,
+        )
+        lifted.add_table(table.name, table.name.capitalize())
+
+    udf_counter = 0
+    for method in program.methods:
+        effects: list[EffectSpec] = []
+        reads: list[str] = []
+        udf_names: list[str] = []
+        for operation in method.operations:
+            if operation.kind == "insert":
+                effects.append(EffectSpec(EffectKind.MERGE, operation.table))
+                reads.append(operation.table)
+            elif operation.kind == "update_field":
+                effects.append(EffectSpec(EffectKind.ASSIGN, operation.table))
+                reads.append(operation.table)
+            elif operation.kind in ("lookup", "filter", "count"):
+                reads.append(operation.table)
+            elif operation.kind == "udf":
+                udf_counter += 1
+                udf_name = f"{method.name}_udf_{udf_counter}"
+                lifted.add_udf(udf_name, operation.fn)
+                udf_names.append(udf_name)
+
+        def make_body(method_spec: MethodSpec, udfs: list[str]):
+            def body(ctx, **kwargs):
+                result: Any = None
+                udf_iter = iter(udfs)
+                for operation in method_spec.operations:
+                    if operation.kind == "insert":
+                        spec_columns = {
+                            column.name: kwargs.get(column.name)
+                            for column in next(
+                                t for t in program.tables if t.name == operation.table
+                            ).columns
+                        }
+                        ctx.merge_row(operation.table, **{
+                            name: value for name, value in spec_columns.items() if value is not None
+                        })
+                        key_name = next(t for t in program.tables if t.name == operation.table).key
+                        result = spec_columns[key_name]
+                    elif operation.kind == "update_field":
+                        key = kwargs[operation.key_param]
+                        if ctx.has_key(operation.table, key):
+                            ctx.assign_field(operation.table, key, operation.column,
+                                             kwargs[operation.value_param])
+                        result = key
+                    elif operation.kind == "lookup":
+                        result = ctx.row(operation.table, kwargs[operation.key_param])
+                    elif operation.kind == "filter":
+                        key_name = next(t for t in program.tables if t.name == operation.table).key
+                        result = sorted(
+                            (row for row in ctx.rows(operation.table)
+                             if row.get(operation.column) == kwargs[operation.value_param]),
+                            key=lambda r: repr(r.get(key_name)),
+                        )
+                    elif operation.kind == "count":
+                        result = ctx.count(operation.table)
+                    elif operation.kind == "udf":
+                        result = ctx.call_udf(next(udf_iter), **kwargs)
+                ctx.respond(result)
+
+            return body
+
+        lifted.add_handler(
+            method.name,
+            make_body(method, udf_names),
+            params=method.params,
+            effects=tuple(dict.fromkeys(effects)),
+            reads=tuple(dict.fromkeys(reads)),
+            udfs=tuple(udf_names),
+            doc=f"Lifted from sequential method {program.name}.{method.name}.",
+        )
+
+    lifted.validate()
+    return lifted

@@ -1,0 +1,34 @@
+"""The target facet's deployment optimizer (§9).
+
+Implements the integer-programming formulation of §9.1: given per-handler
+latency and cost targets, a catalogue of machine types with performance and
+price models, and a predicted workload, choose how many instances of each
+machine type to allocate per handler so that every latency and cost
+constraint is met while minimising total machine count (or total cost).
+
+Two solvers are provided — scipy's MILP when available, and a pure-Python
+branch-and-bound fallback — plus a greedy baseline for the E5 ablation and
+an :class:`~repro.placement.autoscaler.Autoscaler` that re-solves the
+program as the observed workload drifts (the adaptive reoptimization loop
+of §9.2).
+"""
+
+from repro.placement.machines import MachineType, DEFAULT_CATALOG
+from repro.placement.cost_models import HandlerLoadModel, PerformanceModel
+from repro.placement.ilp import DeploymentProblem, DeploymentSolution, solve_deployment
+from repro.placement.branch_and_bound import branch_and_bound_solve
+from repro.placement.greedy import greedy_solve
+from repro.placement.autoscaler import Autoscaler
+
+__all__ = [
+    "MachineType",
+    "DEFAULT_CATALOG",
+    "PerformanceModel",
+    "HandlerLoadModel",
+    "DeploymentProblem",
+    "DeploymentSolution",
+    "solve_deployment",
+    "branch_and_bound_solve",
+    "greedy_solve",
+    "Autoscaler",
+]

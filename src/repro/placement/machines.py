@@ -1,0 +1,41 @@
+"""Machine-type catalogue for the deployment optimizer.
+
+Each machine type has a price, a relative speed factor, a per-instance
+request capacity and a processor class.  The defaults are loosely modelled
+on small/medium/GPU cloud instances; benchmarks can supply their own
+catalogue, and the optimizer never assumes anything beyond these fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineType:
+    """One machine configuration the optimizer can allocate."""
+
+    name: str
+    hourly_cost: float
+    speed_factor: float = 1.0
+    capacity_rps: float = 100.0
+    processor: str = "cpu"
+    max_instances: int = 64
+
+    def __post_init__(self) -> None:
+        if self.hourly_cost < 0:
+            raise ValueError("hourly_cost must be non-negative")
+        if self.speed_factor <= 0:
+            raise ValueError("speed_factor must be positive")
+        if self.capacity_rps <= 0:
+            raise ValueError("capacity_rps must be positive")
+        if self.max_instances < 1:
+            raise ValueError("max_instances must be at least 1")
+
+
+#: A small default catalogue: small CPU, large CPU and a GPU machine.
+DEFAULT_CATALOG = [
+    MachineType("small-cpu", hourly_cost=0.05, speed_factor=1.0, capacity_rps=100.0),
+    MachineType("large-cpu", hourly_cost=0.20, speed_factor=2.5, capacity_rps=400.0),
+    MachineType("gpu", hourly_cost=0.90, speed_factor=6.0, capacity_rps=300.0, processor="gpu"),
+]

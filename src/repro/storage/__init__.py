@@ -1,0 +1,20 @@
+"""An Anna-style lattice key-value store (§1.2).
+
+The paper repeatedly points to the Anna KVS as evidence that
+coordination-free, lattice-based state scales: every value is a lattice,
+every update is a merge, shards own disjoint key ranges, and replicas of a
+shard converge by gossiping merged state rather than coordinating writes.
+This package provides that substrate over the cluster simulator:
+
+* :class:`~repro.storage.kvs.ShardNode` — a shard replica holding a
+  :class:`~repro.lattices.maps.MapLattice` of causally tagged values;
+* :class:`~repro.storage.kvs.LatticeKVS` — the cluster object that creates
+  shards/replicas, routes by consistent hashing and exposes put/get;
+* :class:`~repro.storage.client.KVSClient` — an asynchronous client with
+  read-your-writes session tracking.
+"""
+
+from repro.storage.kvs import LatticeKVS, ShardNode
+from repro.storage.client import KVSClient
+
+__all__ = ["LatticeKVS", "ShardNode", "KVSClient"]

@@ -1,0 +1,77 @@
+"""An asynchronous KVS client with session guarantees.
+
+The client node issues ``put``/``get`` messages over the simulated network
+(unlike :class:`~repro.storage.kvs.LatticeKVS`'s direct convenience API) and
+layers *read-your-writes* on top of eventual consistency by caching the
+client's own writes and merging them into reads — the client-centric,
+Hydrocache-style encapsulation the paper's consistency facet describes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Hashable, Optional
+
+from repro.cluster.network import Message
+from repro.cluster.node import Node
+from repro.lattices.base import Lattice
+from repro.lattices.maps import MapLattice
+
+
+class KVSClient(Node):
+    """A client of the lattice KVS with a read-your-writes session cache."""
+
+    def __init__(self, node_id, simulator, network, kvs, domain="client") -> None:
+        super().__init__(node_id, simulator, network, domain)
+        self.kvs = kvs
+        self.session_writes = MapLattice()
+        self.pending_gets: dict[int, Callable[[Optional[Lattice]], None]] = {}
+        self.completed_gets: dict[int, Optional[Lattice]] = {}
+        self.acked_puts: set[int] = set()
+        self._ids = itertools.count()
+        self.on("get_reply", self._on_get_reply)
+        self.on("put_ack", self._on_put_ack)
+
+    # -- operations ----------------------------------------------------------------
+
+    def put(self, key: Hashable, value: Lattice) -> int:
+        """Asynchronously merge ``value`` into ``key``; returns a request id."""
+        request_id = next(self._ids)
+        self.session_writes = self.session_writes.insert(key, value)
+        replica = self.kvs._pick_replica(key)
+        self.send(replica.node_id, "put", {"key": key, "value": value, "request_id": request_id})
+        return request_id
+
+    def get(self, key: Hashable,
+            callback: Optional[Callable[[Optional[Lattice]], None]] = None) -> int:
+        """Asynchronously read ``key``; the reply is merged with session writes."""
+        request_id = next(self._ids)
+        if callback is not None:
+            self.pending_gets[request_id] = callback
+        replica = self.kvs._pick_replica(key)
+        self.send(replica.node_id, "get", {"key": key, "request_id": request_id})
+        return request_id
+
+    # -- replies -------------------------------------------------------------------
+
+    def _on_get_reply(self, message: Message) -> None:
+        payload = message.payload
+        request_id, key, value = payload["request_id"], payload["key"], payload["value"]
+        own = self.session_writes.get(key)
+        if own is not None:
+            value = own if value is None else value.merge(own)
+        self.completed_gets[request_id] = value
+        callback = self.pending_gets.pop(request_id, None)
+        if callback is not None:
+            callback(value)
+
+    def _on_put_ack(self, message: Message) -> None:
+        self.acked_puts.add(message.payload["request_id"])
+
+    # -- introspection ----------------------------------------------------------------
+
+    def result_of(self, request_id: int) -> Optional[Lattice]:
+        return self.completed_gets.get(request_id)
+
+    def put_acknowledged(self, request_id: int) -> bool:
+        return request_id in self.acked_puts

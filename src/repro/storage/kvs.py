@@ -1,0 +1,189 @@
+"""The lattice KVS: sharded, replicated, coordination-free.
+
+Keys are assigned to shards by hash; each shard has a configurable number of
+replicas.  A ``put`` merges a lattice value into one replica (chosen round-
+robin) and is propagated to the shard's other replicas both eagerly (async
+replication messages) and periodically (gossip), so replicas converge
+without locks or consensus.  ``get`` reads any single replica — eventually
+consistent by construction, exactly Anna's model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Hashable, Optional
+
+from repro.cluster.metrics import MetricsRegistry
+from repro.cluster.network import Message, Network
+from repro.cluster.node import Node
+from repro.cluster.simulator import Simulator
+from repro.lattices.base import BOTTOM, Lattice
+from repro.lattices.maps import MapLattice
+
+
+class ShardNode(Node):
+    """One replica of one shard: a map of keys to lattice values."""
+
+    def __init__(self, node_id, simulator, network, domain="default",
+                 peers: list[Hashable] | None = None,
+                 gossip_interval: Optional[float] = None) -> None:
+        super().__init__(node_id, simulator, network, domain)
+        self.store = MapLattice()
+        self.peers = list(peers or [])
+        self.gossip_interval = gossip_interval
+        self.puts = 0
+        self.gets = 0
+        self.on("put", self._on_put)
+        self.on("get", self._on_get)
+        self.on("replicate", self._on_replicate)
+        self.on("gossip", self._on_gossip)
+        if gossip_interval:
+            self.set_timer(gossip_interval, self._gossip_tick, label=f"kvs-gossip@{node_id}")
+
+    def set_peers(self, peers: list[Hashable]) -> None:
+        self.peers = [peer for peer in peers if peer != self.node_id]
+
+    # -- local operations ---------------------------------------------------------
+
+    def merge_local(self, key: Hashable, value: Lattice) -> None:
+        self.store = self.store.insert(key, value)
+
+    def value_of(self, key: Hashable) -> Optional[Lattice]:
+        return self.store.get(key)
+
+    # -- message handlers ------------------------------------------------------------
+
+    def _on_put(self, message: Message) -> None:
+        payload = message.payload
+        key, value, request_id = payload["key"], payload["value"], payload["request_id"]
+        self.puts += 1
+        self.merge_local(key, value)
+        for peer in self.peers:
+            self.send(peer, "replicate", {"key": key, "value": value}, size_bytes=256)
+        self.send(message.source, "put_ack", {"request_id": request_id, "replica": self.node_id})
+
+    def _on_replicate(self, message: Message) -> None:
+        payload = message.payload
+        self.merge_local(payload["key"], payload["value"])
+
+    def _on_get(self, message: Message) -> None:
+        payload = message.payload
+        key, request_id = payload["key"], payload["request_id"]
+        self.gets += 1
+        self.send(
+            message.source,
+            "get_reply",
+            {"request_id": request_id, "key": key, "value": self.store.get(key),
+             "replica": self.node_id},
+        )
+
+    # -- gossip ------------------------------------------------------------------------
+
+    def _gossip_tick(self) -> None:
+        if not self.alive:
+            return
+        for peer in self.peers:
+            self.send(peer, "gossip", self.store, size_bytes=1024)
+        if self.gossip_interval:
+            self.set_timer(self.gossip_interval, self._gossip_tick,
+                           label=f"kvs-gossip@{self.node_id}")
+
+    def _on_gossip(self, message: Message) -> None:
+        self.store = self.store.merge(message.payload)
+
+    def reset_state(self) -> None:
+        self.store = MapLattice()
+
+
+class LatticeKVS:
+    """The cluster-level KVS: shard routing, replica management, metrics."""
+
+    def __init__(self, simulator: Simulator, network: Network,
+                 shard_count: int = 4, replication_factor: int = 1,
+                 gossip_interval: Optional[float] = 25.0,
+                 metrics: MetricsRegistry | None = None) -> None:
+        if shard_count < 1 or replication_factor < 1:
+            raise ValueError("shard_count and replication_factor must be >= 1")
+        self.simulator = simulator
+        self.network = network
+        self.shard_count = shard_count
+        self.replication_factor = replication_factor
+        self.metrics = metrics or MetricsRegistry()
+        self.shards: list[list[ShardNode]] = []
+        self._replica_cycle: list[itertools.cycle] = []
+        for shard_index in range(shard_count):
+            replicas = []
+            for replica_index in range(replication_factor):
+                node_id = f"kvs-s{shard_index}-r{replica_index}"
+                replicas.append(
+                    ShardNode(node_id, simulator, network,
+                              domain=f"az-{replica_index}", gossip_interval=gossip_interval)
+                )
+            replica_ids = [replica.node_id for replica in replicas]
+            for replica in replicas:
+                replica.set_peers(replica_ids)
+            self.shards.append(replicas)
+            self._replica_cycle.append(itertools.cycle(range(replication_factor)))
+
+    # -- routing ------------------------------------------------------------------------
+
+    def shard_for(self, key: Hashable) -> int:
+        return hash(key) % self.shard_count
+
+    def replicas_for(self, key: Hashable) -> list[ShardNode]:
+        return self.shards[self.shard_for(key)]
+
+    def _pick_replica(self, key: Hashable) -> ShardNode:
+        shard_index = self.shard_for(key)
+        replicas = self.shards[shard_index]
+        for _ in range(len(replicas)):
+            replica = replicas[next(self._replica_cycle[shard_index])]
+            if replica.alive:
+                return replica
+        return replicas[0]
+
+    # -- synchronous-style API (drives the simulator internally) --------------------------
+
+    def put(self, key: Hashable, value: Lattice) -> None:
+        """Merge ``value`` into ``key`` at one replica and replicate asynchronously."""
+        replica = self._pick_replica(key)
+        replica.merge_local(key, value)
+        self.metrics.increment("kvs.puts")
+        for peer_id in replica.peers:
+            self.network.send(replica.node_id, peer_id, "replicate",
+                              {"key": key, "value": value}, size_bytes=256)
+
+    def get(self, key: Hashable) -> Optional[Lattice]:
+        """Read ``key`` from one (possibly stale) replica."""
+        self.metrics.increment("kvs.gets")
+        replica = self._pick_replica(key)
+        return replica.value_of(key)
+
+    def get_merged(self, key: Hashable) -> Optional[Lattice]:
+        """Read ``key`` merged across all replicas of its shard (strongest read)."""
+        self.metrics.increment("kvs.gets")
+        merged: Any = BOTTOM
+        found = False
+        for replica in self.replicas_for(key):
+            value = replica.value_of(key)
+            if value is not None:
+                merged = merged.merge(value)
+                found = True
+        return merged if found else None
+
+    def settle(self, horizon: float = 500.0) -> None:
+        """Advance the simulation far enough for replication/gossip to converge.
+
+        Gossip timers re-arm forever, so "run until idle" would never return;
+        instead we advance a fixed simulated-time horizon that comfortably
+        covers several gossip rounds plus in-flight replication messages.
+        """
+        self.simulator.run(until=self.simulator.now + horizon)
+
+    # -- reporting --------------------------------------------------------------------------
+
+    def all_nodes(self) -> list[ShardNode]:
+        return [replica for shard in self.shards for replica in shard]
+
+    def total_keys(self) -> int:
+        return sum(len(replica.store) for shard in self.shards for replica in shard[:1])

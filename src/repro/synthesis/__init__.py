@@ -1,0 +1,33 @@
+"""Chestnut-style data representation synthesis (§5).
+
+Given a data model and a workload specification (a mix of point lookups,
+secondary-attribute lookups, range scans, full scans and inserts), the
+synthesizer enumerates candidate physical layouts built from a small library
+of containers — append-only row lists, hash indexes, sorted arrays and
+composites — estimates each candidate's cost under a simple but calibrated
+cost model, and returns the cheapest layout together with the access path
+chosen per query class.  The physical containers are real, runnable
+implementations, so the E4 benchmark can measure the speedup the synthesizer
+predicts (the paper cites up to 42× from Chestnut on ORM workloads).
+"""
+
+from repro.synthesis.workload import OperationMix, WorkloadSpec
+from repro.synthesis.containers import HashIndexContainer, RowListContainer, SortedArrayContainer
+from repro.synthesis.layouts import CandidateLayout, LayoutKind
+from repro.synthesis.cost_model import CostModel
+from repro.synthesis.synthesizer import LayoutSynthesizer, SynthesisResult
+from repro.synthesis.access_paths import AccessPath
+
+__all__ = [
+    "WorkloadSpec",
+    "OperationMix",
+    "RowListContainer",
+    "HashIndexContainer",
+    "SortedArrayContainer",
+    "CandidateLayout",
+    "LayoutKind",
+    "CostModel",
+    "LayoutSynthesizer",
+    "SynthesisResult",
+    "AccessPath",
+]

@@ -1,0 +1,81 @@
+"""Access path descriptions: how each operation class is served by a layout.
+
+The synthesizer reports, per operation class, which container the
+materialised layout will route the operation to and the estimated cost —
+the explain output a developer (or the Hydrolysis compiler) reads to
+understand why a layout was chosen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.synthesis.cost_model import CostModel
+from repro.synthesis.layouts import CandidateLayout
+from repro.synthesis.workload import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class AccessPath:
+    """One operation class's chosen route through a layout."""
+
+    operation: str
+    container: str
+    attribute: str
+    estimated_cost: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.operation}: {self.container}({self.attribute}) "
+            f"~{self.estimated_cost:.2f} row-touches"
+        )
+
+
+def access_paths_for(candidate: CandidateLayout, workload: WorkloadSpec,
+                     cost_model: CostModel | None = None) -> list[AccessPath]:
+    """Describe the access path per active operation class of the workload."""
+    cost_model = cost_model or CostModel()
+    rows = workload.expected_rows
+    containers = [(candidate.primary_kind, candidate.primary_attribute)]
+    containers.extend(candidate.secondary_indexes)
+    paths: list[AccessPath] = []
+
+    def best_equality(attribute: str) -> tuple[str, str]:
+        for kind, attr in containers:
+            if kind == "hash_index" and attr == attribute:
+                return kind, attr
+        for kind, attr in containers:
+            if kind == "sorted_array" and attr == attribute:
+                return kind, attr
+        return candidate.primary_kind, candidate.primary_attribute
+
+    mix = workload.mix
+    if mix.point_lookup:
+        kind, attr = best_equality(workload.key_attribute)
+        paths.append(AccessPath(
+            "point_lookup", kind, workload.key_attribute,
+            cost_model._lookup_cost(candidate, workload.key_attribute, rows)))
+    if mix.secondary_lookup and workload.secondary_attribute:
+        kind, attr = best_equality(workload.secondary_attribute)
+        paths.append(AccessPath(
+            "secondary_lookup", kind, workload.secondary_attribute,
+            cost_model._lookup_cost(candidate, workload.secondary_attribute, rows)))
+    if mix.range_scan and workload.range_attribute:
+        range_kind = candidate.primary_kind
+        for kind, attr in containers:
+            if kind == "sorted_array" and attr == workload.range_attribute:
+                range_kind = kind
+                break
+        paths.append(AccessPath(
+            "range_scan", range_kind, workload.range_attribute,
+            cost_model._range_cost(candidate, workload.range_attribute, rows,
+                                   workload.range_selectivity)))
+    if mix.full_scan:
+        paths.append(AccessPath(
+            "full_scan", candidate.primary_kind, candidate.primary_attribute,
+            cost_model.scan_cost_per_row * rows))
+    if mix.insert:
+        paths.append(AccessPath(
+            "insert", candidate.primary_kind, candidate.primary_attribute,
+            cost_model._insert_cost(candidate, rows)))
+    return paths

@@ -1,0 +1,124 @@
+"""Physical container implementations used by synthesized layouts.
+
+These are the runnable "building blocks" §5.2 calls for: each container
+stores rows (dicts) and supports the operation classes of the workload
+model with different asymptotics.
+
+* :class:`RowListContainer` — an append-only list; O(1) insert, O(n)
+  everything else.  The naive baseline.
+* :class:`HashIndexContainer` — a dict keyed on one attribute; O(1)
+  point/secondary lookups on that attribute, O(n) scans.
+* :class:`SortedArrayContainer` — rows kept sorted on one attribute;
+  O(log n) point lookup and O(log n + k) range scans via bisection,
+  O(n) insert.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, Hashable, Iterable, Iterator, Optional
+
+
+class RowListContainer:
+    """Append-only list of rows; every lookup is a full scan."""
+
+    kind = "row_list"
+
+    def __init__(self, attribute: str) -> None:
+        self.attribute = attribute
+        self._rows: list[dict] = []
+
+    def insert(self, row: dict) -> None:
+        self._rows.append(dict(row))
+
+    def point_lookup(self, attribute: str, value: Hashable) -> list[dict]:
+        return [row for row in self._rows if row.get(attribute) == value]
+
+    def range_scan(self, attribute: str, low: Any, high: Any) -> list[dict]:
+        return [row for row in self._rows if low <= row.get(attribute) <= high]
+
+    def full_scan(self) -> list[dict]:
+        return list(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class HashIndexContainer:
+    """A hash index on one attribute; rows with equal values share a bucket."""
+
+    kind = "hash_index"
+
+    def __init__(self, attribute: str) -> None:
+        self.attribute = attribute
+        self._buckets: dict[Hashable, list[dict]] = {}
+        self._count = 0
+
+    def insert(self, row: dict) -> None:
+        self._buckets.setdefault(row.get(self.attribute), []).append(dict(row))
+        self._count += 1
+
+    def point_lookup(self, attribute: str, value: Hashable) -> list[dict]:
+        if attribute == self.attribute:
+            return list(self._buckets.get(value, ()))
+        return [row for row in self.full_scan() if row.get(attribute) == value]
+
+    def range_scan(self, attribute: str, low: Any, high: Any) -> list[dict]:
+        return [row for row in self.full_scan() if low <= row.get(attribute) <= high]
+
+    def full_scan(self) -> list[dict]:
+        return [row for bucket in self._buckets.values() for row in bucket]
+
+    def __len__(self) -> int:
+        return self._count
+
+
+class SortedArrayContainer:
+    """Rows kept sorted by one attribute; bisection for point and range queries."""
+
+    kind = "sorted_array"
+
+    def __init__(self, attribute: str) -> None:
+        self.attribute = attribute
+        self._keys: list[Any] = []
+        self._rows: list[dict] = []
+
+    def insert(self, row: dict) -> None:
+        key = row.get(self.attribute)
+        index = bisect_right(self._keys, key)
+        self._keys.insert(index, key)
+        self._rows.insert(index, dict(row))
+
+    def point_lookup(self, attribute: str, value: Hashable) -> list[dict]:
+        if attribute != self.attribute:
+            return [row for row in self._rows if row.get(attribute) == value]
+        left = bisect_left(self._keys, value)
+        right = bisect_right(self._keys, value)
+        return [dict(row) for row in self._rows[left:right]]
+
+    def range_scan(self, attribute: str, low: Any, high: Any) -> list[dict]:
+        if attribute != self.attribute:
+            return [row for row in self._rows if low <= row.get(attribute) <= high]
+        left = bisect_left(self._keys, low)
+        right = bisect_right(self._keys, high)
+        return [dict(row) for row in self._rows[left:right]]
+
+    def full_scan(self) -> list[dict]:
+        return list(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+CONTAINER_CLASSES = {
+    "row_list": RowListContainer,
+    "hash_index": HashIndexContainer,
+    "sorted_array": SortedArrayContainer,
+}
+
+
+def make_container(kind: str, attribute: str):
+    """Instantiate a container by kind name."""
+    if kind not in CONTAINER_CLASSES:
+        raise ValueError(f"unknown container kind {kind!r}")
+    return CONTAINER_CLASSES[kind](attribute)

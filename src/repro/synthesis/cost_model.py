@@ -1,0 +1,89 @@
+"""The cost model scoring candidate layouts against a workload.
+
+Costs are abstract "row touches": a full scan of an n-row container costs n,
+a hash probe costs ~1 plus the bucket size, a bisection costs log2(n) plus
+the rows returned, and maintenance costs are charged per secondary index.
+The absolute numbers do not matter — only the ranking — which is why a
+simple analytic model is enough to reproduce Chestnut's behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.synthesis.layouts import CandidateLayout
+from repro.synthesis.workload import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Tunable constants of the analytic cost model."""
+
+    hash_probe_cost: float = 1.5
+    sorted_probe_factor: float = 1.0
+    scan_cost_per_row: float = 1.0
+    insert_base_cost: float = 1.0
+    insert_per_index_cost: float = 1.2
+    sorted_insert_factor: float = 0.05
+
+    # -- per-operation estimates -------------------------------------------------------
+
+    def _lookup_cost(self, candidate: CandidateLayout, attribute: str, rows: int) -> float:
+        """Cost of an equality lookup on ``attribute``."""
+        containers = [(candidate.primary_kind, candidate.primary_attribute)]
+        containers.extend(candidate.secondary_indexes)
+        for kind, indexed_attribute in containers:
+            if kind == "hash_index" and indexed_attribute == attribute:
+                return self.hash_probe_cost
+        for kind, indexed_attribute in containers:
+            if kind == "sorted_array" and indexed_attribute == attribute:
+                return self.sorted_probe_factor * max(1.0, math.log2(max(rows, 2)))
+        return self.scan_cost_per_row * rows
+
+    def _range_cost(self, candidate: CandidateLayout, attribute: str, rows: int,
+                    selectivity: float) -> float:
+        matched = max(1.0, rows * selectivity)
+        containers = [(candidate.primary_kind, candidate.primary_attribute)]
+        containers.extend(candidate.secondary_indexes)
+        for kind, indexed_attribute in containers:
+            if kind == "sorted_array" and indexed_attribute == attribute:
+                return self.sorted_probe_factor * max(1.0, math.log2(max(rows, 2))) + matched
+        return self.scan_cost_per_row * rows
+
+    def _insert_cost(self, candidate: CandidateLayout, rows: int) -> float:
+        cost = self.insert_base_cost
+        cost += self.insert_per_index_cost * len(candidate.secondary_indexes)
+        sorted_containers = [
+            kind
+            for kind, _ in [
+                (candidate.primary_kind, candidate.primary_attribute),
+                *candidate.secondary_indexes,
+            ]
+            if kind == "sorted_array"
+        ]
+        cost += len(sorted_containers) * self.sorted_insert_factor * rows
+        return cost
+
+    # -- workload scoring ------------------------------------------------------------------
+
+    def workload_cost(self, candidate: CandidateLayout, workload: WorkloadSpec) -> float:
+        """Expected cost per operation of ``candidate`` under ``workload``."""
+        mix = workload.mix.normalised()
+        rows = workload.expected_rows
+        cost = 0.0
+        if mix.point_lookup:
+            cost += mix.point_lookup * self._lookup_cost(candidate, workload.key_attribute, rows)
+        if mix.secondary_lookup:
+            cost += mix.secondary_lookup * self._lookup_cost(
+                candidate, workload.secondary_attribute, rows
+            )
+        if mix.range_scan:
+            cost += mix.range_scan * self._range_cost(
+                candidate, workload.range_attribute, rows, workload.range_selectivity
+            )
+        if mix.full_scan:
+            cost += mix.full_scan * self.scan_cost_per_row * rows
+        if mix.insert:
+            cost += mix.insert * self._insert_cost(candidate, rows)
+        return cost

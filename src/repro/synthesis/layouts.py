@@ -1,0 +1,144 @@
+"""Candidate physical layouts and their materialisation.
+
+A layout is a primary container plus optional secondary indexes.  The
+enumerator in :mod:`repro.synthesis.synthesizer` generates candidates from
+the workload's attributes; this module knows how to instantiate a candidate
+into a runnable :class:`MaterializedLayout` that routes each operation to
+the best container it owns — the "access path" selection of §5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Hashable, Iterable, Optional
+
+from repro.synthesis.containers import make_container
+
+
+class LayoutKind(str, Enum):
+    """The primary container families the enumerator considers."""
+
+    ROW_LIST = "row_list"
+    HASH_ON_KEY = "hash_on_key"
+    SORTED_ON_RANGE = "sorted_on_range"
+    HASH_WITH_SECONDARY = "hash_with_secondary"
+    HASH_WITH_SORTED_RANGE = "hash_with_sorted_range"
+
+
+@dataclass(frozen=True)
+class CandidateLayout:
+    """A declarative description of one candidate layout."""
+
+    kind: LayoutKind
+    primary_kind: str
+    primary_attribute: str
+    secondary_indexes: tuple[tuple[str, str], ...] = ()  # (container kind, attribute)
+
+    def describe(self) -> str:
+        parts = [f"{self.primary_kind}({self.primary_attribute})"]
+        parts.extend(f"+{kind}({attr})" for kind, attr in self.secondary_indexes)
+        return " ".join(parts)
+
+
+class MaterializedLayout:
+    """A runnable instantiation of a candidate layout."""
+
+    def __init__(self, candidate: CandidateLayout) -> None:
+        self.candidate = candidate
+        self.primary = make_container(candidate.primary_kind, candidate.primary_attribute)
+        self.secondaries = [
+            make_container(kind, attribute) for kind, attribute in candidate.secondary_indexes
+        ]
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def insert(self, row: dict) -> None:
+        self.primary.insert(row)
+        for secondary in self.secondaries:
+            secondary.insert(row)
+
+    def load(self, rows: Iterable[dict]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    # -- access-path routing -----------------------------------------------------------
+
+    def _container_for(self, attribute: str, operation: str):
+        """Pick the container that serves ``operation`` on ``attribute`` cheapest."""
+        candidates = [self.primary] + self.secondaries
+        if operation in ("point", "secondary"):
+            for container in candidates:
+                if container.kind == "hash_index" and container.attribute == attribute:
+                    return container
+            for container in candidates:
+                if container.kind == "sorted_array" and container.attribute == attribute:
+                    return container
+        if operation == "range":
+            for container in candidates:
+                if container.kind == "sorted_array" and container.attribute == attribute:
+                    return container
+        return self.primary
+
+    def point_lookup(self, attribute: str, value: Hashable) -> list[dict]:
+        return self._container_for(attribute, "point").point_lookup(attribute, value)
+
+    def range_scan(self, attribute: str, low: Any, high: Any) -> list[dict]:
+        return self._container_for(attribute, "range").range_scan(attribute, low, high)
+
+    def full_scan(self) -> list[dict]:
+        return self.primary.full_scan()
+
+    def __len__(self) -> int:
+        return len(self.primary)
+
+
+def enumerate_candidates(
+    key_attribute: str,
+    secondary_attribute: Optional[str] = None,
+    range_attribute: Optional[str] = None,
+) -> list[CandidateLayout]:
+    """Enumerate the candidate layouts for a workload's attributes.
+
+    The grammar mirrors Chestnut's: a primary container choice (list, hash on
+    the key, or sorted on the range attribute) optionally augmented with a
+    secondary hash index and/or a sorted range index.
+    """
+    candidates = [
+        CandidateLayout(LayoutKind.ROW_LIST, "row_list", key_attribute),
+        CandidateLayout(LayoutKind.HASH_ON_KEY, "hash_index", key_attribute),
+    ]
+    if range_attribute is not None:
+        candidates.append(
+            CandidateLayout(LayoutKind.SORTED_ON_RANGE, "sorted_array", range_attribute)
+        )
+        candidates.append(
+            CandidateLayout(
+                LayoutKind.HASH_WITH_SORTED_RANGE,
+                "hash_index",
+                key_attribute,
+                (("sorted_array", range_attribute),),
+            )
+        )
+    if secondary_attribute is not None:
+        candidates.append(
+            CandidateLayout(
+                LayoutKind.HASH_WITH_SECONDARY,
+                "hash_index",
+                key_attribute,
+                (("hash_index", secondary_attribute),),
+            )
+        )
+    if secondary_attribute is not None and range_attribute is not None:
+        candidates.append(
+            CandidateLayout(
+                LayoutKind.HASH_WITH_SECONDARY,
+                "hash_index",
+                key_attribute,
+                (
+                    ("hash_index", secondary_attribute),
+                    ("sorted_array", range_attribute),
+                ),
+            )
+        )
+    return candidates

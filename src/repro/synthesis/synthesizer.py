@@ -1,0 +1,108 @@
+"""The layout synthesizer: enumerate, score, pick, materialise.
+
+This is the Chestnut loop of §5.2: enumerate candidate layouts from the
+workload's attributes, score each with the cost model, and return the
+cheapest.  ``synthesize`` also supports *incremental re-synthesis*: given a
+previously chosen layout and a new workload, it reports whether switching
+layouts is worth a configurable migration threshold — the workload-drift
+scenario the paper flags as future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.synthesis.access_paths import AccessPath, access_paths_for
+from repro.synthesis.cost_model import CostModel
+from repro.synthesis.layouts import CandidateLayout, MaterializedLayout, enumerate_candidates
+from repro.synthesis.workload import WorkloadSpec
+
+
+@dataclass
+class SynthesisResult:
+    """The synthesizer's output: the winner, its runners-up and access paths."""
+
+    workload: WorkloadSpec
+    chosen: CandidateLayout
+    chosen_cost: float
+    ranked: list[tuple[CandidateLayout, float]] = field(default_factory=list)
+    access_paths: list[AccessPath] = field(default_factory=list)
+
+    @property
+    def naive_cost(self) -> float:
+        """Cost of the naive row-list layout, for speedup reporting."""
+        for candidate, cost in self.ranked:
+            if candidate.primary_kind == "row_list" and not candidate.secondary_indexes:
+                return cost
+        return self.chosen_cost
+
+    @property
+    def predicted_speedup(self) -> float:
+        """How much cheaper the chosen layout is than the naive one."""
+        if self.chosen_cost <= 0:
+            return float("inf")
+        return self.naive_cost / self.chosen_cost
+
+    def materialize(self) -> MaterializedLayout:
+        return MaterializedLayout(self.chosen)
+
+    def describe(self) -> str:
+        lines = [
+            f"Synthesis for table {self.workload.table!r} "
+            f"({self.workload.expected_rows} rows):",
+            f"  chosen: {self.chosen.describe()}  cost={self.chosen_cost:.2f} "
+            f"(predicted speedup over naive: {self.predicted_speedup:.1f}x)",
+        ]
+        for candidate, cost in self.ranked:
+            lines.append(f"    candidate {candidate.describe():<50} cost={cost:.2f}")
+        for path in self.access_paths:
+            lines.append(f"    access path {path.describe()}")
+        return "\n".join(lines)
+
+
+class LayoutSynthesizer:
+    """Enumerative layout synthesis driven by a cost model."""
+
+    def __init__(self, cost_model: CostModel | None = None) -> None:
+        self.cost_model = cost_model or CostModel()
+
+    def synthesize(self, workload: WorkloadSpec) -> SynthesisResult:
+        """Pick the cheapest layout for ``workload``."""
+        candidates = enumerate_candidates(
+            workload.key_attribute,
+            workload.secondary_attribute,
+            workload.range_attribute,
+        )
+        ranked = sorted(
+            ((candidate, self.cost_model.workload_cost(candidate, workload))
+             for candidate in candidates),
+            key=lambda pair: pair[1],
+        )
+        chosen, chosen_cost = ranked[0]
+        return SynthesisResult(
+            workload=workload,
+            chosen=chosen,
+            chosen_cost=chosen_cost,
+            ranked=ranked,
+            access_paths=access_paths_for(chosen, workload, self.cost_model),
+        )
+
+    def should_resynthesize(
+        self,
+        current: CandidateLayout,
+        new_workload: WorkloadSpec,
+        migration_threshold: float = 1.5,
+    ) -> tuple[bool, SynthesisResult]:
+        """Decide whether workload drift justifies switching layouts.
+
+        Returns (switch?, fresh synthesis result).  Switching is recommended
+        when the newly optimal layout is at least ``migration_threshold``
+        times cheaper than keeping the current one.
+        """
+        result = self.synthesize(new_workload)
+        current_cost = self.cost_model.workload_cost(current, new_workload)
+        if result.chosen == current:
+            return False, result
+        switch = current_cost / max(result.chosen_cost, 1e-9) >= migration_threshold
+        return switch, result

@@ -1,0 +1,71 @@
+"""Workload specifications for layout synthesis.
+
+A workload is a weighted mix of the operation classes Chestnut optimises
+for: point lookups by key, lookups by a secondary attribute, range scans
+over an ordered attribute, full scans, and inserts.  Weights are relative
+frequencies; the synthesizer multiplies them by per-operation cost
+estimates to score layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class OperationMix:
+    """Relative frequencies of each operation class (need not sum to 1)."""
+
+    point_lookup: float = 0.0
+    secondary_lookup: float = 0.0
+    range_scan: float = 0.0
+    full_scan: float = 0.0
+    insert: float = 0.0
+
+    def normalised(self) -> "OperationMix":
+        total = (
+            self.point_lookup
+            + self.secondary_lookup
+            + self.range_scan
+            + self.full_scan
+            + self.insert
+        )
+        if total <= 0:
+            raise ValueError("operation mix must have at least one positive weight")
+        return OperationMix(
+            point_lookup=self.point_lookup / total,
+            secondary_lookup=self.secondary_lookup / total,
+            range_scan=self.range_scan / total,
+            full_scan=self.full_scan / total,
+            insert=self.insert / total,
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A workload over one table.
+
+    ``key_attribute`` is the primary key; ``secondary_attribute`` (if any) is
+    the attribute targeted by secondary lookups; ``range_attribute`` the one
+    used for range scans.  ``expected_rows`` and ``range_selectivity`` feed
+    the cost model's cardinality estimates.
+    """
+
+    table: str
+    key_attribute: str
+    mix: OperationMix
+    secondary_attribute: Optional[str] = None
+    range_attribute: Optional[str] = None
+    expected_rows: int = 10_000
+    range_selectivity: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.expected_rows <= 0:
+            raise ValueError("expected_rows must be positive")
+        if not 0.0 < self.range_selectivity <= 1.0:
+            raise ValueError("range_selectivity must be in (0, 1]")
+        if self.mix.secondary_lookup > 0 and self.secondary_attribute is None:
+            raise ValueError("secondary lookups require a secondary_attribute")
+        if self.mix.range_scan > 0 and self.range_attribute is None:
+            raise ValueError("range scans require a range_attribute")

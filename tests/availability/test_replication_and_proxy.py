@@ -1,0 +1,155 @@
+"""Tests for replicated execution, the client proxy, log shipping and placement."""
+
+import pytest
+
+from repro.apps.covid import build_covid_program
+from repro.availability import (
+    LogShippingPrimary,
+    LogShippingStandby,
+    ReplicaNode,
+    ReplicaProxy,
+    plan_placements,
+)
+from repro.availability.placement import placement_summary
+from repro.cluster import FailureDomain, Network, NetworkConfig, Simulator, Topology
+from repro.core.errors import NotDeployableError
+from repro.core.facets import AvailabilitySpec
+
+
+def build_replicated_deployment(replica_count=3, seed=7):
+    sim = Simulator(seed=seed)
+    net = Network(sim, NetworkConfig(base_delay=1.0, jitter=0.5))
+    program = build_covid_program(vaccine_count=10)
+    replica_ids = [f"replica-{i}" for i in range(replica_count)]
+    replicas = {
+        rid: ReplicaNode(rid, sim, net, program, domain=f"az-{i}",
+                         gossip_interval=10.0, peers=replica_ids)
+        for i, rid in enumerate(replica_ids)
+    }
+    for replica in replicas.values():
+        replica.set_peers(replica_ids)
+    proxy = ReplicaProxy("proxy", sim, net, retry_timeout=20.0)
+    for handler in program.handlers:
+        proxy.register_endpoint(handler, replica_ids)
+    return sim, net, program, replicas, proxy
+
+
+class TestReplicatedExecution:
+    def test_request_routed_and_answered(self):
+        sim, net, program, replicas, proxy = build_replicated_deployment()
+        request = proxy.invoke("add_person", {"pid": 1, "country": "US"})
+        sim.run(until=200.0)
+        assert proxy.responses[request]["status"] == "ok"
+        assert proxy.availability() == 1.0
+
+    def test_replicas_converge_via_gossip(self):
+        sim, net, program, replicas, proxy = build_replicated_deployment()
+        proxy.invoke("add_person", {"pid": 1})
+        proxy.invoke("add_person", {"pid": 2})
+        proxy.invoke("add_contact", {"id1": 1, "id2": 2})
+        sim.run(until=500.0)
+        counts = {rid: r.interpreter.view().count("people") for rid, r in replicas.items()}
+        assert set(counts.values()) == {2}
+        for replica in replicas.values():
+            row = replica.interpreter.view().row("people", 1)
+            assert 2 in row["contacts"]
+
+    def test_requests_survive_replica_failure(self):
+        sim, net, program, replicas, proxy = build_replicated_deployment()
+        replicas["replica-0"].crash()
+        request_ids = [
+            proxy.invoke("add_person", {"pid": pid}) for pid in range(10)
+        ]
+        sim.run(until=1000.0)
+        statuses = [proxy.responses.get(rid, {}).get("status") for rid in request_ids]
+        assert statuses.count("ok") == 10
+        assert proxy.availability() == 1.0
+
+    def test_unregistered_endpoint_rejected(self):
+        sim, net, program, replicas, proxy = build_replicated_deployment()
+        with pytest.raises(KeyError):
+            proxy.invoke("missing_handler", {})
+
+    def test_proxy_records_latency_metrics(self):
+        sim, net, program, replicas, proxy = build_replicated_deployment()
+        proxy.invoke("add_person", {"pid": 1})
+        sim.run(until=200.0)
+        assert proxy.metrics.latency("proxy.add_person").count == 1
+
+
+class TestLogShipping:
+    def build(self, seed=13):
+        sim = Simulator(seed=seed)
+        net = Network(sim, NetworkConfig(base_delay=1.0, jitter=0.0))
+        program = build_covid_program(vaccine_count=5)
+        standby = LogShippingStandby("standby", sim, net, program, domain="az-b")
+        primary = LogShippingPrimary("primary", sim, net, program,
+                                     standbys=["standby"], domain="az-a")
+        proxy = ReplicaProxy("proxy", sim, net, retry_timeout=20.0)
+        for handler in program.handlers:
+            proxy.register_endpoint(handler, ["primary"])
+        return sim, program, primary, standby, proxy
+
+    def test_log_records_shipped(self):
+        sim, program, primary, standby, proxy = self.build()
+        for pid in range(5):
+            proxy.invoke("add_person", {"pid": pid})
+        sim.run(until=200.0)
+        assert standby.log_length == 5
+        assert len(primary.log) == 5
+
+    def test_promotion_replays_log_and_serves(self):
+        sim, program, primary, standby, proxy = self.build()
+        for pid in range(4):
+            proxy.invoke("add_person", {"pid": pid})
+        proxy.invoke("add_contact", {"id1": 0, "id2": 1})
+        sim.run(until=300.0)
+        primary.crash()
+        replayed = standby.promote()
+        assert replayed == 5
+        assert standby.interpreter.view().count("people") == 4
+        # Redirect traffic to the standby and keep serving.
+        for handler in program.handlers:
+            proxy.register_endpoint(handler, ["standby"])
+        request = proxy.invoke("trace", {"pid": 0})
+        sim.run(until=600.0)
+        assert proxy.responses[request]["value"] == [1]
+
+
+class TestPlacementPlanning:
+    def topology(self, azs=3, per_az=2):
+        topo = Topology()
+        nodes = []
+        for az in range(azs):
+            for i in range(per_az):
+                node_id = f"n-{az}-{i}"
+                topo.place(node_id, az=f"az-{az}", vm=f"vm-{az}-{i}")
+                nodes.append(node_id)
+        return topo, nodes
+
+    def test_placements_satisfy_default_spec(self):
+        program = build_covid_program()
+        topo, nodes = self.topology()
+        placements = plan_placements(program, topo, nodes)
+        # default facet: tolerate 2 AZ failures -> 3 replicas across 3 AZs
+        assert placement_summary(placements)["add_person"] == 3
+        assert placements["add_person"].tolerates(2, FailureDomain.AVAILABILITY_ZONE)
+
+    def test_override_reduces_replicas(self):
+        program = build_covid_program()
+        topo, nodes = self.topology()
+        placements = plan_placements(program, topo, nodes)
+        # likelihood overrides to f=1 -> 2 replicas
+        assert placement_summary(placements)["likelihood"] == 2
+
+    def test_insufficient_domains_rejected(self):
+        program = build_covid_program()
+        topo, nodes = self.topology(azs=1, per_az=4)
+        with pytest.raises(NotDeployableError):
+            plan_placements(program, topo, nodes)
+
+    def test_insufficient_nodes_rejected(self):
+        program = build_covid_program()
+        topo, nodes = self.topology(azs=2, per_az=1)
+        with pytest.raises(NotDeployableError):
+            plan_placements(program, topo, nodes)

@@ -1,0 +1,204 @@
+"""Tests for the simulated network, nodes, failure domains and injection."""
+
+import pytest
+
+from repro.cluster import (
+    CrashPlan,
+    FailureDomain,
+    FailureInjector,
+    Network,
+    NetworkConfig,
+    Node,
+    Placement,
+    Simulator,
+    Topology,
+)
+from repro.cluster.domains import spread_across_domains
+
+
+def build_pair(config=None):
+    sim = Simulator(seed=1)
+    net = Network(sim, config or NetworkConfig(base_delay=1.0, jitter=0.0))
+    received = []
+    a = Node("a", sim, net)
+    b = Node("b", sim, net)
+    b.on("inbox", lambda msg: received.append(msg.payload))
+    return sim, net, a, b, received
+
+
+class TestNetworkDelivery:
+    def test_message_delivered_after_delay(self):
+        sim, net, a, b, received = build_pair()
+        a.send("b", "inbox", "hello")
+        assert received == []
+        sim.run_until_idle()
+        assert received == ["hello"]
+        assert sim.now >= 1.0
+
+    def test_drop_rate_one_drops_everything(self):
+        sim, net, a, b, received = build_pair(NetworkConfig(drop_rate=1.0))
+        for i in range(10):
+            a.send("b", "inbox", i)
+        sim.run_until_idle()
+        assert received == []
+        assert net.messages_dropped == 10
+
+    def test_duplicate_rate_one_duplicates_everything(self):
+        sim, net, a, b, received = build_pair(
+            NetworkConfig(base_delay=1.0, jitter=0.0, duplicate_rate=1.0)
+        )
+        a.send("b", "inbox", "x")
+        sim.run_until_idle()
+        assert received == ["x", "x"]
+
+    def test_partition_blocks_and_heal_restores(self):
+        sim, net, a, b, received = build_pair()
+        part = net.partition({"a"}, {"b"})
+        a.send("b", "inbox", "lost")
+        sim.run_until_idle()
+        assert received == []
+        net.heal(part)
+        a.send("b", "inbox", "found")
+        sim.run_until_idle()
+        assert received == ["found"]
+
+    def test_unknown_destination_counts_as_dropped(self):
+        sim, net, a, b, received = build_pair()
+        a.send("ghost", "inbox", "x")
+        sim.run_until_idle()
+        assert net.messages_dropped == 1
+
+    def test_broadcast_reaches_all(self):
+        sim = Simulator()
+        net = Network(sim, NetworkConfig(base_delay=1.0, jitter=0.0))
+        got = {"b": [], "c": []}
+        a = Node("a", sim, net)
+        for name in ("b", "c"):
+            node = Node(name, sim, net)
+            node.on("inbox", lambda msg, name=name: got[name].append(msg.payload))
+        a.broadcast(["b", "c"], "inbox", "hi")
+        sim.run_until_idle()
+        assert got == {"b": ["hi"], "c": ["hi"]}
+
+    def test_duplicate_registration_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        Node("a", sim, net)
+        with pytest.raises(ValueError):
+            Node("a", sim, net)
+
+
+class TestNodeLifecycle:
+    def test_crashed_node_ignores_messages(self):
+        sim, net, a, b, received = build_pair()
+        b.crash()
+        a.send("b", "inbox", "while-down")
+        sim.run_until_idle()
+        assert received == []
+
+    def test_crashed_node_does_not_send(self):
+        sim, net, a, b, received = build_pair()
+        a.crash()
+        assert a.send("b", "inbox", "x") is None
+        sim.run_until_idle()
+        assert received == []
+
+    def test_recovered_node_processes_new_messages(self):
+        sim, net, a, b, received = build_pair()
+        b.crash()
+        a.send("b", "inbox", "lost")
+        sim.run_until_idle()
+        b.recover()
+        a.send("b", "inbox", "after")
+        sim.run_until_idle()
+        assert received == ["after"]
+
+    def test_timers_cancelled_on_crash(self):
+        sim, net, a, b, received = build_pair()
+        fired = []
+        b.set_timer(5.0, lambda: fired.append("timer"))
+        b.crash()
+        sim.run_until_idle()
+        assert fired == []
+
+
+class TestTopologyAndPlacement:
+    def build_topology(self):
+        topo = Topology()
+        topo.place("n1", az="az-a", vm="vm-1")
+        topo.place("n2", az="az-a", vm="vm-2")
+        topo.place("n3", az="az-b", vm="vm-3")
+        topo.place("n4", az="az-c", vm="vm-4")
+        return topo
+
+    def test_distinct_domains(self):
+        topo = self.build_topology()
+        azs = topo.distinct_domains(["n1", "n2", "n3"], FailureDomain.AVAILABILITY_ZONE)
+        assert azs == {"az-a", "az-b"}
+
+    def test_placement_tolerance(self):
+        topo = self.build_topology()
+        narrow = Placement("ep", ["n1", "n2"], topo)
+        wide = Placement("ep", ["n1", "n3", "n4"], topo)
+        assert narrow.tolerates(1, FailureDomain.VM)
+        assert not narrow.tolerates(1, FailureDomain.AVAILABILITY_ZONE)
+        assert wide.tolerates(2, FailureDomain.AVAILABILITY_ZONE)
+
+    def test_surviving_replicas(self):
+        topo = self.build_topology()
+        placement = Placement("ep", ["n1", "n3", "n4"], topo)
+        survivors = placement.surviving_replicas(["az-a"], FailureDomain.AVAILABILITY_ZONE)
+        assert survivors == ["n3", "n4"]
+
+    def test_spread_across_domains_maximises_coverage(self):
+        topo = self.build_topology()
+        chosen = spread_across_domains(
+            topo, ["n1", "n2", "n3", "n4"], 3, FailureDomain.AVAILABILITY_ZONE
+        )
+        covered = topo.distinct_domains(chosen, FailureDomain.AVAILABILITY_ZONE)
+        assert len(covered) == 3
+
+    def test_spread_rejects_impossible_count(self):
+        topo = self.build_topology()
+        with pytest.raises(ValueError):
+            spread_across_domains(topo, ["n1"], 2, FailureDomain.VM)
+
+    def test_unplaced_node_gets_singleton_domain(self):
+        topo = self.build_topology()
+        domain = topo.domain_of("unknown", FailureDomain.AVAILABILITY_ZONE)
+        assert domain == (FailureDomain.AVAILABILITY_ZONE, "unknown")
+
+
+class TestFailureInjection:
+    def test_crash_plan_and_recovery(self):
+        sim = Simulator()
+        net = Network(sim, NetworkConfig(base_delay=0.5, jitter=0.0))
+        node = Node("n1", sim, net)
+        injector = FailureInjector(sim, {"n1": node})
+        injector.apply(CrashPlan("n1", crash_at=5.0, recover_at=10.0))
+        sim.run(until=6.0)
+        assert not node.alive
+        sim.run(until=11.0)
+        assert node.alive
+
+    def test_crash_domain_takes_out_all_members(self):
+        sim = Simulator()
+        net = Network(sim)
+        topo = Topology()
+        nodes = {}
+        for name, az in [("n1", "az-a"), ("n2", "az-a"), ("n3", "az-b")]:
+            nodes[name] = Node(name, sim, net, domain=az)
+            topo.place(name, az=az)
+        injector = FailureInjector(sim, nodes, topo)
+        injector.crash_domain(FailureDomain.AVAILABILITY_ZONE, "az-a", at=1.0)
+        sim.run_until_idle()
+        assert sorted(injector.dead_nodes()) == ["n1", "n2"]
+        assert injector.alive_nodes() == ["n3"]
+
+    def test_invalid_recovery_time_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        node = Node("n1", sim, net)
+        injector = FailureInjector(sim, {"n1": node})
+        with pytest.raises(ValueError):
+            injector.apply(CrashPlan("n1", crash_at=5.0, recover_at=5.0))

@@ -1,0 +1,96 @@
+"""Unit tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.cluster import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("late"))
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.run_until_idle()
+        assert fired == ["early", "late"]
+
+    def test_ties_break_by_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("first"))
+        sim.schedule(1.0, lambda: fired.append("second"))
+        sim.run_until_idle()
+        assert fired == ["first", "second"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        sim.schedule(3.5, lambda: None)
+        sim.run_until_idle()
+        assert sim.now == pytest.approx(3.5)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_cancelled_events_do_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        sim.run_until_idle()
+        assert fired == []
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.0, lambda: sim.schedule_at(5.0, lambda: times.append(sim.now)))
+        sim.run_until_idle()
+        assert times == [pytest.approx(5.0)]
+
+    def test_events_scheduled_during_run_are_processed(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                sim.schedule(1.0, lambda: chain(depth + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run_until_idle()
+        assert fired == [0, 1, 2, 3]
+
+
+class TestRunBounds:
+    def test_run_until_time_bound(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == pytest.approx(5.0)
+        assert sim.pending_events == 1
+
+    def test_run_until_idle_detects_runaway(self):
+        sim = Simulator()
+
+        def rescheduling():
+            sim.schedule(1.0, rescheduling)
+
+        sim.schedule(1.0, rescheduling)
+        with pytest.raises(RuntimeError):
+            sim.run_until_idle(max_events=100)
+
+    def test_determinism_across_seeds(self):
+        def trace(seed):
+            sim = Simulator(seed=seed)
+            samples = []
+            for _ in range(5):
+                sim.schedule(sim.rng.random(), lambda: samples.append(round(sim.now, 6)))
+            sim.run_until_idle()
+            return samples
+
+        assert trace(7) == trace(7)
+        assert trace(7) != trace(8)

@@ -1,0 +1,172 @@
+"""Tests for the coordination mechanisms: 2PC, consensus log, causal broadcast."""
+
+import pytest
+
+from repro.cluster import Network, NetworkConfig, Simulator
+from repro.consistency import (
+    CausalBroadcast,
+    ConsensusLog,
+    TransactionCoordinator,
+    TransactionOutcome,
+    TransactionParticipant,
+)
+
+
+def make_cluster(seed=3, drop_rate=0.0):
+    sim = Simulator(seed=seed)
+    net = Network(sim, NetworkConfig(base_delay=1.0, jitter=0.5, drop_rate=drop_rate))
+    return sim, net
+
+
+class TestTwoPhaseCommit:
+    def build(self, votes):
+        sim, net = make_cluster()
+        applied = []
+        participants = []
+        for index, vote in enumerate(votes):
+            participants.append(
+                TransactionParticipant(
+                    f"p{index}", sim, net,
+                    can_commit=lambda payload, v=vote: v,
+                    apply_payload=applied.append,
+                )
+            )
+        coordinator = TransactionCoordinator("coord", sim, net)
+        return sim, coordinator, participants, applied
+
+    def test_all_yes_commits(self):
+        sim, coordinator, participants, applied = self.build([True, True, True])
+        outcomes = []
+        tid = coordinator.begin("payload", [p.node_id for p in participants],
+                                on_complete=outcomes.append)
+        sim.run_until_idle()
+        assert coordinator.outcome(tid) is TransactionOutcome.COMMITTED
+        assert outcomes == [TransactionOutcome.COMMITTED]
+        assert applied == ["payload"] * 3
+
+    def test_single_no_vote_aborts(self):
+        sim, coordinator, participants, applied = self.build([True, False, True])
+        tid = coordinator.begin("payload", [p.node_id for p in participants])
+        sim.run_until_idle()
+        assert coordinator.outcome(tid) is TransactionOutcome.ABORTED
+        assert applied == []
+
+    def test_crashed_participant_causes_abort_via_timeout(self):
+        sim, coordinator, participants, applied = self.build([True, True])
+        participants[1].crash()
+        tid = coordinator.begin("payload", [p.node_id for p in participants])
+        sim.run_until_idle()
+        assert coordinator.outcome(tid) is TransactionOutcome.ABORTED
+        assert applied == []
+
+    def test_transactions_are_independent(self):
+        sim, coordinator, participants, applied = self.build([True, True])
+        ids = [coordinator.begin(f"tx{i}", [p.node_id for p in participants]) for i in range(3)]
+        sim.run_until_idle()
+        assert all(coordinator.outcome(tid) is TransactionOutcome.COMMITTED for tid in ids)
+        assert sorted(applied) == sorted(["tx0", "tx1", "tx2"] * 2)
+
+
+class TestConsensusLog:
+    def build(self, n=3, seed=5):
+        sim, net = make_cluster(seed=seed)
+        applied = {f"r{i}": [] for i in range(n)}
+        log = ConsensusLog(
+            sim, net, [f"r{i}" for i in range(n)],
+            apply_entry=lambda rid, slot, value: applied[rid].append((slot, value)),
+        )
+        return sim, log, applied
+
+    def test_entries_chosen_and_applied_in_order_on_all_replicas(self):
+        sim, log, applied = self.build()
+        for value in ["a", "b", "c"]:
+            log.append(value)
+        sim.run_until_idle()
+        for replica_id, entries in applied.items():
+            assert [value for _, value in entries] == ["a", "b", "c"]
+            assert [slot for slot, _ in entries] == [0, 1, 2]
+
+    def test_all_replicas_agree_on_chosen_values(self):
+        sim, log, applied = self.build(n=5)
+        for value in range(10):
+            log.append(value)
+        sim.run_until_idle()
+        references = [log.chosen_values(f"r{i}") for i in range(5)]
+        assert all(ref == references[0] for ref in references)
+        assert references[0] == list(range(10))
+
+    def test_append_without_leader_returns_none(self):
+        sim, log, applied = self.build()
+        log.replicas["r0"].crash()
+        assert log.append("x") is None
+
+    def test_failover_preserves_committed_entries(self):
+        sim, log, applied = self.build(n=3, seed=11)
+        log.append("committed-1")
+        log.append("committed-2")
+        sim.run_until_idle()
+        log.replicas["r0"].crash()
+        log.elect("r1")
+        sim.run_until_idle()
+        assert log.leader is not None and log.leader.node_id == "r1"
+        log.append("after-failover")
+        sim.run_until_idle()
+        surviving = log.chosen_values("r1")
+        assert surviving[:2] == ["committed-1", "committed-2"]
+        assert "after-failover" in surviving
+        assert log.chosen_values("r2") == surviving
+
+    def test_callback_fires_when_chosen(self):
+        sim, log, applied = self.build()
+        chosen = []
+        log.append("x", on_chosen=lambda slot, value: chosen.append((slot, value)))
+        sim.run_until_idle()
+        assert chosen == [(0, "x")]
+
+
+class TestCausalBroadcast:
+    def build(self, n=3, seed=9):
+        sim, net = make_cluster(seed=seed)
+        peers = [f"c{i}" for i in range(n)]
+        nodes = {pid: CausalBroadcast(pid, sim, net, peers=peers) for pid in peers}
+        return sim, nodes
+
+    def test_all_nodes_deliver_all_messages(self):
+        sim, nodes = self.build()
+        nodes["c0"].broadcast("hello")
+        nodes["c1"].broadcast("world")
+        sim.run_until_idle()
+        for node in nodes.values():
+            assert sorted(node.delivered_payloads()) == ["hello", "world"]
+
+    def test_fifo_order_per_origin(self):
+        sim, nodes = self.build(seed=21)
+        for i in range(5):
+            nodes["c0"].broadcast(f"m{i}")
+        sim.run_until_idle()
+        for node in nodes.values():
+            from_c0 = [m.payload for m in node.delivered if m.origin == "c0"]
+            assert from_c0 == [f"m{i}" for i in range(5)]
+
+    def test_causal_dependencies_respected(self):
+        """A reply broadcast after seeing a message is never delivered before it."""
+        sim, nodes = self.build(seed=33)
+        original = nodes["c0"].broadcast("question")
+        sim.run_until_idle()
+        assert "question" in nodes["c1"].delivered_payloads()
+        nodes["c1"].broadcast("answer")
+        sim.run_until_idle()
+        for node in nodes.values():
+            payloads = node.delivered_payloads()
+            assert payloads.index("question") < payloads.index("answer")
+
+    def test_buffering_until_dependency_arrives(self):
+        sim, nodes = self.build()
+        # Manually craft an out-of-order arrival: deliver c0's second message first.
+        nodes["c0"].broadcast("first")
+        nodes["c0"].broadcast("second")
+        sim.run_until_idle()
+        for node in nodes.values():
+            payloads = node.delivered_payloads()
+            assert payloads.index("first") < payloads.index("second")
+            assert node.pending == 0

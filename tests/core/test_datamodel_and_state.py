@@ -1,0 +1,165 @@
+"""Tests for the HydroLogic data model and deferred-effect state."""
+
+import pytest
+
+from repro.core.datamodel import DataModel, EntityClass, FieldSpec
+from repro.core.errors import SpecificationError
+from repro.core.state import (
+    AssignFieldEffect,
+    AssignVarEffect,
+    DeleteRowEffect,
+    MergeFieldEffect,
+    MergeRowEffect,
+    MergeVarEffect,
+    ProgramState,
+    SendEffect,
+)
+from repro.lattices import BoolOr, GCounter, MaxInt, SetUnion
+
+
+def person_class():
+    return EntityClass(
+        "Person",
+        fields=(
+            FieldSpec("pid", int),
+            FieldSpec("country", str, default=""),
+            FieldSpec("contacts", lattice=SetUnion),
+            FieldSpec("covid", lattice=BoolOr),
+        ),
+        key="pid",
+        partition_by="country",
+    )
+
+
+def model():
+    dm = DataModel()
+    dm.add_class(person_class())
+    dm.add_table("people", "Person")
+    dm.add_var("vaccine_count", initial=5)
+    dm.add_var("total_diagnoses", lattice=GCounter)
+    return dm
+
+
+class TestEntityClass:
+    def test_key_must_be_a_field(self):
+        with pytest.raises(SpecificationError):
+            EntityClass("Bad", fields=(FieldSpec("a"),), key="missing")
+
+    def test_partition_must_be_a_field(self):
+        with pytest.raises(SpecificationError):
+            EntityClass("Bad", fields=(FieldSpec("a"),), key="a", partition_by="missing")
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(SpecificationError):
+            EntityClass("Bad", fields=(FieldSpec("a"), FieldSpec("a")), key="a")
+
+    def test_new_row_fills_defaults(self):
+        row = person_class().new_row(pid=1)
+        assert row["country"] == ""
+        assert row["contacts"] == SetUnion()
+        assert row["covid"] == BoolOr(False)
+
+    def test_new_row_coerces_raw_lattice_values(self):
+        row = person_class().new_row(pid=1, covid=True)
+        assert row["covid"] == BoolOr(True)
+
+    def test_new_row_rejects_unknown_fields(self):
+        with pytest.raises(SpecificationError):
+            person_class().new_row(pid=1, nonsense=3)
+
+    def test_new_row_requires_key(self):
+        with pytest.raises(SpecificationError):
+            person_class().new_row(country="US")
+
+
+class TestDataModel:
+    def test_duplicate_declarations_rejected(self):
+        dm = model()
+        with pytest.raises(SpecificationError):
+            dm.add_table("people", "Person")
+        with pytest.raises(SpecificationError):
+            dm.add_var("vaccine_count")
+
+    def test_partition_key_prefers_hint(self):
+        dm = model()
+        assert dm.partition_key("people") == "country"
+
+    def test_unknown_lookups_raise(self):
+        dm = model()
+        with pytest.raises(SpecificationError):
+            dm.table("missing")
+        with pytest.raises(SpecificationError):
+            dm.var("missing")
+
+    def test_describe_lists_everything(self):
+        text = model().describe()
+        assert "people" in text and "vaccine_count" in text
+
+
+class TestProgramState:
+    def test_merge_row_then_merge_field(self):
+        state = ProgramState(model())
+        state.apply(MergeRowEffect("people", {"pid": 1, "country": "US"}))
+        state.apply(MergeFieldEffect("people", 1, "contacts", SetUnion({2})))
+        state.apply(MergeFieldEffect("people", 1, "contacts", SetUnion({3})))
+        row = state.table("people").get(1)
+        assert row["contacts"] == SetUnion({2, 3})
+        assert row["country"] == "US"
+
+    def test_merge_row_merges_lattice_fields_of_existing_row(self):
+        state = ProgramState(model())
+        state.apply(MergeRowEffect("people", {"pid": 1, "contacts": SetUnion({2})}))
+        state.apply(MergeRowEffect("people", {"pid": 1, "contacts": SetUnion({3})}))
+        assert state.table("people").get(1)["contacts"] == SetUnion({2, 3})
+
+    def test_merge_field_creates_missing_row(self):
+        state = ProgramState(model())
+        state.apply(MergeFieldEffect("people", 9, "covid", BoolOr(True)))
+        assert bool(state.table("people").get(9)["covid"])
+
+    def test_merge_into_non_lattice_field_rejected(self):
+        state = ProgramState(model())
+        with pytest.raises(SpecificationError):
+            state.apply(MergeFieldEffect("people", 1, "country", SetUnion({"US"})))
+
+    def test_assign_and_delete(self):
+        state = ProgramState(model())
+        state.apply(MergeRowEffect("people", {"pid": 1}))
+        state.apply(AssignFieldEffect("people", 1, "country", "FR"))
+        assert state.table("people").get(1)["country"] == "FR"
+        state.apply(DeleteRowEffect("people", 1))
+        assert state.table("people").get(1) is None
+
+    def test_var_effects(self):
+        state = ProgramState(model())
+        state.apply(AssignVarEffect("vaccine_count", 3))
+        assert state.var("vaccine_count") == 3
+        state.apply(MergeVarEffect("total_diagnoses", GCounter().increment("n1", 2)))
+        assert state.var("total_diagnoses").value == 2
+
+    def test_merge_into_plain_var_rejected(self):
+        state = ProgramState(model())
+        with pytest.raises(SpecificationError):
+            state.apply(MergeVarEffect("vaccine_count", GCounter().increment("n1")))
+
+    def test_send_is_not_a_state_effect(self):
+        state = ProgramState(model())
+        with pytest.raises(SpecificationError):
+            state.apply(SendEffect("alert", {"pid": 1}))
+
+    def test_snapshot_is_isolated(self):
+        state = ProgramState(model())
+        state.apply(MergeRowEffect("people", {"pid": 1, "contacts": SetUnion({2})}))
+        snap = state.snapshot()
+        state.apply(MergeFieldEffect("people", 1, "contacts", SetUnion({3})))
+        assert snap.table("people").get(1)["contacts"] == SetUnion({2})
+
+    def test_merge_from_other_replica_converges(self):
+        left = ProgramState(model())
+        right = ProgramState(model())
+        left.apply(MergeRowEffect("people", {"pid": 1, "contacts": SetUnion({2})}))
+        right.apply(MergeRowEffect("people", {"pid": 1, "contacts": SetUnion({3})}))
+        right.apply(MergeRowEffect("people", {"pid": 4}))
+        left.merge_from(right)
+        assert left.table("people").get(1)["contacts"] == SetUnion({2, 3})
+        assert 4 in left.table("people")

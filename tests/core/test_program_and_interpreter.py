@@ -1,0 +1,228 @@
+"""Tests for program construction, effect enforcement, tick semantics and the
+COVID running example (E1's correctness half)."""
+
+import pytest
+
+from repro.apps.covid import SequentialCovidTracker, build_covid_program
+from repro.core import (
+    ConsistencyLevel,
+    ConsistencySpec,
+    EffectKind,
+    EffectSpec,
+    EffectViolation,
+    HydroProgram,
+    Invariant,
+    InvariantViolation,
+    SingleNodeInterpreter,
+    UnknownHandlerError,
+)
+from repro.core.datamodel import FieldSpec
+from repro.core.errors import SpecificationError
+from repro.lattices import MaxInt, SetUnion
+
+
+def counter_program():
+    """A tiny program with one monotone and one non-monotone handler."""
+    program = HydroProgram("counter")
+    program.add_class("Item", fields=[FieldSpec("key", int), FieldSpec("tags", lattice=SetUnion)], key="key")
+    program.add_table("items", "Item")
+    program.add_var("budget", initial=10)
+    program.add_var("high_water", lattice=MaxInt)
+
+    def tag(ctx, key, tag):
+        ctx.merge_field("items", key, "tags", SetUnion({tag}))
+        ctx.merge_var("high_water", MaxInt(key))
+        ctx.respond("OK")
+
+    program.add_handler(
+        "tag", tag, params=["key", "tag"],
+        effects=[EffectSpec(EffectKind.MERGE, "items"), EffectSpec(EffectKind.MERGE, "high_water")],
+        reads=["items"],
+    )
+
+    def spend(ctx, amount):
+        ctx.assign_var("budget", ctx.var("budget") - amount)
+        ctx.respond(ctx.var("budget") - amount)
+
+    program.add_handler(
+        "spend", spend, params=["amount"],
+        effects=[EffectSpec(EffectKind.ASSIGN, "budget")],
+        reads=["budget"],
+        consistency=ConsistencySpec(
+            ConsistencyLevel.SERIALIZABLE,
+            invariants=(Invariant("budget_non_negative", lambda v: v.var("budget") >= 0),),
+        ),
+    )
+    return program
+
+
+class TestProgramValidation:
+    def test_duplicate_handler_rejected(self):
+        program = counter_program()
+        with pytest.raises(SpecificationError):
+            program.add_handler("tag", lambda ctx: None)
+
+    def test_effect_on_unknown_state_rejected(self):
+        program = HydroProgram("bad")
+        program.add_handler(
+            "h", lambda ctx: None, effects=[EffectSpec(EffectKind.MERGE, "nope")]
+        )
+        with pytest.raises(SpecificationError):
+            program.validate()
+
+    def test_read_of_unknown_state_rejected(self):
+        program = HydroProgram("bad")
+        program.add_handler("h", lambda ctx: None, reads=["nope"])
+        with pytest.raises(SpecificationError):
+            program.validate()
+
+    def test_unknown_query_reference_rejected(self):
+        program = HydroProgram("bad")
+        program.add_handler("h", lambda ctx: None, queries=["missing"])
+        with pytest.raises(SpecificationError):
+            program.validate()
+
+    def test_describe_mentions_handlers_and_facets(self):
+        text = build_covid_program().describe()
+        assert "vaccinate" in text
+        assert "serializable" in text
+
+
+class TestTickSemantics:
+    def test_call_and_run_returns_response(self):
+        interp = SingleNodeInterpreter(counter_program())
+        assert interp.call_and_run("tag", key=1, tag="a") == "OK"
+        assert interp.view().row("items", 1)["tags"] == SetUnion({"a"})
+
+    def test_unknown_handler_rejected(self):
+        interp = SingleNodeInterpreter(counter_program())
+        with pytest.raises(UnknownHandlerError):
+            interp.call("missing")
+
+    def test_mutations_deferred_to_end_of_tick(self):
+        """Two handlers in the same tick read the same snapshot."""
+        interp = SingleNodeInterpreter(counter_program())
+        interp.call("spend", amount=3)
+        interp.call("spend", amount=4)
+        outcome = interp.run_tick()
+        # Both read budget=10 in the snapshot; both responses computed from it.
+        assert sorted(outcome.responses.values()) == [6, 7]
+        # Effects applied atomically at end of tick: last write wins on the var.
+        assert interp.view().var("budget") in (6, 7)
+
+    def test_monotone_merges_in_same_tick_compose(self):
+        interp = SingleNodeInterpreter(counter_program())
+        interp.call("tag", key=1, tag="a")
+        interp.call("tag", key=1, tag="b")
+        interp.run_tick()
+        assert interp.view().row("items", 1)["tags"] == SetUnion({"a", "b"})
+
+    def test_invariant_rejects_violating_request(self):
+        interp = SingleNodeInterpreter(counter_program())
+        interp.call("spend", amount=8)
+        interp.run_tick()
+        interp.call("spend", amount=8)
+        outcome = interp.run_tick()
+        assert len(outcome.rejected) == 1
+        assert interp.view().var("budget") == 2
+
+    def test_invariant_violation_raised_from_call_and_run(self):
+        interp = SingleNodeInterpreter(counter_program())
+        interp.call_and_run("spend", amount=10)
+        with pytest.raises(InvariantViolation):
+            interp.call_and_run("spend", amount=1)
+
+    def test_undeclared_effect_raises(self):
+        program = HydroProgram("sneaky")
+        program.add_var("x", initial=0)
+
+        def body(ctx):
+            ctx.assign_var("x", 1)
+
+        program.add_handler("h", body, effects=[])  # declares nothing
+        interp = SingleNodeInterpreter(program)
+        interp.call("h")
+        with pytest.raises(EffectViolation):
+            interp.run_tick()
+
+    def test_high_water_lattice_var_merges(self):
+        interp = SingleNodeInterpreter(counter_program())
+        interp.call("tag", key=5, tag="a")
+        interp.call("tag", key=3, tag="b")
+        interp.run_tick()
+        assert interp.view().var("high_water") == MaxInt(5)
+
+    def test_tick_numbers_advance(self):
+        interp = SingleNodeInterpreter(counter_program())
+        interp.run_tick()
+        outcome = interp.run_tick()
+        assert outcome.tick == 2
+
+
+class TestCovidProgram:
+    def make(self, vaccines=2):
+        interp = SingleNodeInterpreter(build_covid_program(vaccine_count=vaccines))
+        for pid in range(1, 6):
+            interp.call("add_person", pid=pid, country="US")
+        interp.run_tick()
+        for a, b in [(1, 2), (2, 3), (4, 5)]:
+            interp.call("add_contact", id1=a, id2=b)
+        interp.run_tick()
+        return interp
+
+    def test_contacts_are_symmetric(self):
+        interp = self.make()
+        assert 2 in interp.view().row("people", 1)["contacts"]
+        assert 1 in interp.view().row("people", 2)["contacts"]
+
+    def test_trace_is_transitive(self):
+        interp = self.make()
+        assert interp.call_and_run("trace", pid=1) == [2, 3]
+        assert interp.call_and_run("trace", pid=4) == [5]
+
+    def test_diagnosed_sets_flag_and_sends_alerts(self):
+        interp = self.make()
+        alerted = interp.call_and_run("diagnosed", pid=1)
+        assert alerted == [2, 3]
+        assert bool(interp.view().row("people", 1)["covid"])
+        # Alerts leave through the outbox because "alert" is not a handler.
+        mailboxes = {send.mailbox for send in interp.outbox}
+        assert mailboxes == {"alert"}
+        assert len(interp.outbox) == 2
+
+    def test_likelihood_uses_udf(self):
+        interp = self.make()
+        interp.call_and_run("diagnosed", pid=1)
+        assert interp.call_and_run("likelihood", pid=1) == 1.0
+        assert 0.0 < interp.call_and_run("likelihood", pid=2) < 1.0
+        assert interp.call_and_run("likelihood", pid=99) == 0.0
+
+    def test_vaccinate_decrements_and_respects_inventory(self):
+        interp = self.make(vaccines=1)
+        assert interp.call_and_run("vaccinate", pid=1) == "OK"
+        assert interp.view().var("vaccine_count") == 0
+        with pytest.raises(InvariantViolation):
+            interp.call_and_run("vaccinate", pid=2)
+        assert interp.view().var("vaccine_count") == 0
+
+    def test_matches_sequential_baseline(self):
+        """Differential test: lifted program vs Figure 2 pseudocode."""
+        seq = SequentialCovidTracker(vaccine_count=3)
+        interp = SingleNodeInterpreter(build_covid_program(vaccine_count=3))
+        people = list(range(1, 8))
+        contacts = [(1, 2), (2, 3), (3, 4), (5, 6)]
+        for pid in people:
+            seq.add_person(pid)
+            interp.call("add_person", pid=pid)
+        interp.run_tick()
+        for a, b in contacts:
+            seq.add_contact(a, b)
+            interp.call("add_contact", id1=a, id2=b)
+        interp.run_tick()
+        assert sorted(seq.trace(1)) == interp.call_and_run("trace", pid=1)
+        seq_alerts = seq.diagnosed(2)
+        hydro_alerts = interp.call_and_run("diagnosed", pid=2)
+        assert sorted(seq_alerts) == hydro_alerts
+        assert seq.vaccinate(5) is True
+        assert interp.call_and_run("vaccinate", pid=5) == "OK"
+        assert seq.vaccine_count == interp.view().var("vaccine_count")

@@ -1,0 +1,67 @@
+"""Tests for the FaaS baseline platform."""
+
+import pytest
+
+from repro.apps.covid import build_covid_program
+from repro.faas import FaaSConfig, FaaSPlatform
+
+
+def platform(**config_kwargs):
+    return FaaSPlatform(build_covid_program(vaccine_count=5), FaaSConfig(**config_kwargs))
+
+
+class TestFaaSPlatform:
+    def test_first_invocation_is_cold(self):
+        faas = platform()
+        first = faas.invoke("add_person", pid=1)
+        second = faas.invoke("add_person", pid=2)
+        assert first.cold_start
+        assert not second.cold_start
+        assert first.latency_ms > second.latency_ms
+
+    def test_keep_warm_expiry_forces_cold_start(self):
+        faas = platform(keep_warm_ms=1.0, cold_start_ms=100.0, warm_start_ms=1.0)
+        faas.invoke("add_person", pid=1)
+        faas.invoke("likelihood", pid=1)  # advances the platform clock past keep-warm
+        result = faas.invoke("add_person", pid=2)
+        assert result.cold_start
+
+    def test_state_persists_across_invocations_via_storage(self):
+        faas = platform()
+        faas.invoke("add_person", pid=1)
+        faas.invoke("add_person", pid=2)
+        faas.invoke("add_contact", id1=1, id2=2)
+        result = faas.invoke("trace", pid=1)
+        assert result.value == [2]
+
+    def test_invariants_enforced_at_storage(self):
+        faas = platform()
+        for pid in range(1, 7):
+            faas.invoke("add_person", pid=pid)
+        results = [faas.invoke("vaccinate", pid=pid) for pid in range(1, 7)]
+        assert sum(1 for r in results if not r.rejected) == 5
+        assert results[-1].rejected
+
+    def test_costs_accumulate(self):
+        faas = platform()
+        for pid in range(10):
+            faas.invoke("add_person", pid=pid)
+        assert faas.total_cost() > 0
+        assert faas.metrics.counter("faas.invocations") == 10
+
+    def test_storage_ops_reflect_handler_signature(self):
+        faas = platform()
+        write_heavy = faas.invoke("add_contact", id1=1, id2=2)
+        read_only = faas.invoke("trace", pid=1)
+        assert write_heavy.storage_ops >= 2
+        assert read_only.storage_ops >= 1
+
+    def test_unknown_handler_rejected(self):
+        faas = platform()
+        with pytest.raises(KeyError):
+            faas.invoke("nope")
+
+    def test_latency_includes_storage_round_trips(self):
+        slow_storage = platform(storage_round_trip_ms=50.0, cold_start_ms=0.0, warm_start_ms=0.0)
+        result = slow_storage.invoke("add_contact", id1=1, id2=2)
+        assert result.latency_ms >= 50.0 * result.storage_ops

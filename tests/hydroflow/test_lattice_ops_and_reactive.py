@@ -1,0 +1,143 @@
+"""Tests for lattice-typed flows and reactive cells (the §8.1 unification)."""
+
+import pytest
+
+from repro.hydroflow import (
+    FlowGraph,
+    LatticeMapOperator,
+    LatticeMergeOperator,
+    LatticeThresholdOperator,
+    ReactiveCell,
+    ReactiveGraph,
+    SinkOperator,
+    SourceOperator,
+    TickScheduler,
+)
+from repro.lattices import MaxInt, SetUnion
+
+
+class TestLatticeOperators:
+    def build(self, threshold=3):
+        graph = FlowGraph("lattice")
+        graph.add(SourceOperator("src"))
+        graph.add(LatticeMergeOperator("acc"))
+        graph.add(LatticeMapOperator("size", lambda s: MaxInt(len(s))))
+        graph.add(LatticeThresholdOperator("seal", lambda s: len(s.elements) >= threshold))
+        graph.add(SinkOperator("sizes", persistent=True))
+        graph.add(SinkOperator("sealed", persistent=True))
+        graph.connect("src", "acc")
+        graph.connect("acc", "size")
+        graph.connect("size", "sizes")
+        graph.connect("acc", "seal")
+        graph.connect("seal", "sealed")
+        return graph
+
+    def test_merge_operator_emits_only_on_growth(self):
+        graph = self.build()
+        scheduler = TickScheduler(graph)
+        scheduler.push("src", [SetUnion({1}), SetUnion({1})])
+        scheduler.run_tick()
+        scheduler.push("src", [SetUnion({1})])       # duplicate: no growth, no emission
+        scheduler.run_tick()
+        scheduler.push("src", [SetUnion({2})])
+        scheduler.run_tick()
+        sizes = scheduler.collected("sizes")
+        assert [int(s) for s in sizes] == [1, 2]
+
+    def test_count_pipelines_as_a_lattice(self):
+        """A COUNT over a growing set emits a monotonically growing MaxInt."""
+        graph = self.build()
+        scheduler = TickScheduler(graph)
+        scheduler.push("src", [SetUnion({i}) for i in range(5)])
+        scheduler.run_tick()
+        sizes = [int(s) for s in scheduler.collected("sizes")]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == 5
+
+    def test_threshold_fires_exactly_once(self):
+        graph = self.build(threshold=3)
+        scheduler = TickScheduler(graph)
+        scheduler.push("src", [SetUnion({1}), SetUnion({2})])
+        scheduler.run_tick()
+        assert scheduler.collected("sealed") == []
+        scheduler.push("src", [SetUnion({3}), SetUnion({4})])
+        scheduler.run_tick()
+        assert len(scheduler.collected("sealed")) == 1
+
+    def test_state_persists_across_ticks(self):
+        graph = self.build()
+        scheduler = TickScheduler(graph)
+        scheduler.push("src", [SetUnion({1})])
+        scheduler.run_tick()
+        scheduler.push("src", [SetUnion({2})])
+        scheduler.run_tick()
+        acc = graph.operator("acc")
+        assert acc.state == SetUnion({1, 2})
+
+    def test_non_lattice_items_rejected(self):
+        graph = FlowGraph()
+        graph.add(SourceOperator("src"))
+        graph.add(LatticeMergeOperator("acc"))
+        graph.connect("src", "acc")
+        scheduler = TickScheduler(graph)
+        scheduler.push("src", [42])
+        with pytest.raises(TypeError):
+            scheduler.run_tick()
+
+
+class TestReactiveCells:
+    def test_subscribers_notified_on_change_only(self):
+        cell = ReactiveCell("x", 1)
+        changes = []
+        cell.subscribe(lambda old, new: changes.append((old, new)))
+        assert cell.set(1) is False
+        assert cell.set(2) is True
+        cell.update(lambda v: v + 1)
+        assert changes == [(1, 2), (2, 3)]
+        assert cell.version == 2
+
+    def test_unsubscribe_stops_notifications(self):
+        cell = ReactiveCell("x", 0)
+        seen = []
+        unsubscribe = cell.subscribe(lambda old, new: seen.append(new))
+        cell.set(1)
+        unsubscribe()
+        cell.set(2)
+        assert seen == [1]
+
+    def test_derived_cells_recompute_in_order(self):
+        graph = ReactiveGraph()
+        graph.cell("price", 10)
+        graph.cell("quantity", 2)
+        graph.derive("subtotal", ["price", "quantity"], lambda p, q: p * q)
+        graph.derive("total", ["subtotal"], lambda s: round(s * 1.1, 2))
+        assert graph.get("total") == 22.0
+        graph.set("quantity", 3)
+        assert graph.get("subtotal") == 30
+        assert graph.get("total") == 33.0
+
+    def test_setting_derived_cell_rejected(self):
+        graph = ReactiveGraph()
+        graph.cell("a", 1)
+        graph.derive("b", ["a"], lambda a: a + 1)
+        with pytest.raises(ValueError):
+            graph.set("b", 5)
+
+    def test_unknown_input_rejected(self):
+        graph = ReactiveGraph()
+        with pytest.raises(KeyError):
+            graph.derive("b", ["missing"], lambda x: x)
+
+    def test_no_glitch_on_diamond_dependency(self):
+        """A cell depending on two derived cells sees a consistent update."""
+        graph = ReactiveGraph()
+        graph.cell("base", 1)
+        graph.derive("double", ["base"], lambda b: b * 2)
+        graph.derive("triple", ["base"], lambda b: b * 3)
+        observed = []
+        graph.derive("sum", ["double", "triple"], lambda d, t: observed.append(d + t) or d + t)
+        observed.clear()
+        graph.set("base", 10)
+        # The final recomputation sees both updated inputs (20 + 30); no 23/12 glitch.
+        assert graph.get("sum") == 50
+        assert observed[-1] == 50

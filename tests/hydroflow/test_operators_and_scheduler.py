@@ -1,0 +1,262 @@
+"""Tests for Hydroflow operators, graph construction and the tick scheduler."""
+
+import pytest
+
+from repro.hydroflow import (
+    DifferenceOperator,
+    DistinctOperator,
+    FilterOperator,
+    FlatMapOperator,
+    FlowGraph,
+    FoldOperator,
+    HashJoinOperator,
+    MapOperator,
+    SinkOperator,
+    SourceOperator,
+    TickScheduler,
+    UnionOperator,
+)
+
+
+def linear_graph():
+    graph = FlowGraph("linear")
+    graph.add(SourceOperator("src"))
+    graph.add(MapOperator("double", lambda x: x * 2))
+    graph.add(FilterOperator("evens", lambda x: x % 4 == 0))
+    graph.add(SinkOperator("out", persistent=True))
+    graph.connect("src", "double")
+    graph.connect("double", "evens")
+    graph.connect("evens", "out")
+    return graph
+
+
+class TestGraphConstruction:
+    def test_duplicate_operator_rejected(self):
+        graph = FlowGraph()
+        graph.add(SourceOperator("src"))
+        with pytest.raises(ValueError):
+            graph.add(SourceOperator("src"))
+
+    def test_connect_unknown_operator_rejected(self):
+        graph = FlowGraph()
+        graph.add(SourceOperator("src"))
+        with pytest.raises(KeyError):
+            graph.connect("src", "missing")
+
+    def test_connect_unknown_port_rejected(self):
+        graph = FlowGraph()
+        graph.add(SourceOperator("src"))
+        graph.add(MapOperator("m", lambda x: x))
+        with pytest.raises(ValueError):
+            graph.connect("src", "m", port="left")
+
+    def test_sources_and_sinks(self):
+        graph = linear_graph()
+        assert graph.sources() == ["src"]
+        assert graph.sinks() == ["out"]
+
+    def test_topological_order_and_cycles(self):
+        graph = linear_graph()
+        order = graph.topological_order()
+        assert order.index("src") < order.index("out")
+        assert not graph.has_cycle()
+        graph.connect("out", "double")  # make a cycle
+        assert graph.has_cycle()
+        with pytest.raises(ValueError):
+            graph.topological_order()
+
+    def test_describe_mentions_every_operator(self):
+        description = linear_graph().describe()
+        for name in ["src", "double", "evens", "out"]:
+            assert name in description
+
+
+class TestBasicPipeline:
+    def test_map_filter_pipeline(self):
+        graph = linear_graph()
+        scheduler = TickScheduler(graph)
+        scheduler.push("src", [1, 2, 3, 4])
+        scheduler.run_tick()
+        assert scheduler.collected("out") == [4, 8]
+
+    def test_items_only_visible_after_push(self):
+        graph = linear_graph()
+        scheduler = TickScheduler(graph)
+        result = scheduler.run_tick()
+        assert result.items_moved == 0
+        assert scheduler.collected("out") == []
+
+    def test_flat_map(self):
+        graph = FlowGraph()
+        graph.add(SourceOperator("src"))
+        graph.add(FlatMapOperator("expand", lambda x: range(x)))
+        graph.add(SinkOperator("out", persistent=True))
+        graph.connect("src", "expand")
+        graph.connect("expand", "out")
+        scheduler = TickScheduler(graph)
+        scheduler.push("src", [3])
+        scheduler.run_tick()
+        assert scheduler.collected("out") == [0, 1, 2]
+
+    def test_union_merges_streams(self):
+        graph = FlowGraph()
+        graph.add(SourceOperator("a"))
+        graph.add(SourceOperator("b"))
+        graph.add(UnionOperator("union"))
+        graph.add(SinkOperator("out", persistent=True))
+        graph.connect("a", "union")
+        graph.connect("b", "union")
+        graph.connect("union", "out")
+        scheduler = TickScheduler(graph)
+        scheduler.push("a", [1])
+        scheduler.push("b", [2])
+        scheduler.run_tick()
+        assert sorted(scheduler.collected("out")) == [1, 2]
+
+    def test_distinct_suppresses_duplicates_across_ticks(self):
+        graph = FlowGraph()
+        graph.add(SourceOperator("src"))
+        graph.add(DistinctOperator("dedup", persistent=True))
+        graph.add(SinkOperator("out", persistent=True))
+        graph.connect("src", "dedup")
+        graph.connect("dedup", "out")
+        scheduler = TickScheduler(graph)
+        scheduler.push("src", [1, 1, 2])
+        scheduler.run_tick()
+        scheduler.push("src", [2, 3])
+        scheduler.run_tick()
+        assert scheduler.collected("out") == [1, 2, 3]
+
+
+class TestJoinAndAggregation:
+    def test_hash_join_emits_matches(self):
+        graph = FlowGraph()
+        graph.add(SourceOperator("people"))
+        graph.add(SourceOperator("orders"))
+        graph.add(HashJoinOperator("join", left_key=lambda p: p[0], right_key=lambda o: o[0]))
+        graph.add(SinkOperator("out", persistent=True))
+        graph.connect("people", "join", port="left")
+        graph.connect("orders", "join", port="right")
+        graph.connect("join", "out")
+        scheduler = TickScheduler(graph)
+        scheduler.push("people", [("alice", "US"), ("bob", "UK")])
+        scheduler.push("orders", [("alice", "book"), ("alice", "pen"), ("carol", "hat")])
+        scheduler.run_tick()
+        matches = scheduler.collected("out")
+        assert ("alice", ("alice", "US"), ("alice", "book")) in matches
+        assert ("alice", ("alice", "US"), ("alice", "pen")) in matches
+        assert len(matches) == 2
+
+    def test_fold_is_blocking_and_emits_once(self):
+        graph = FlowGraph()
+        graph.add(SourceOperator("src"))
+        graph.add(FoldOperator("sum", 0, lambda acc, x: acc + x))
+        graph.add(SinkOperator("out", persistent=True))
+        graph.connect("src", "sum")
+        graph.connect("sum", "out")
+        scheduler = TickScheduler(graph)
+        scheduler.push("src", [1, 2, 3, 4])
+        scheduler.run_tick()
+        assert scheduler.collected("out") == [10]
+
+    def test_fold_assigned_to_later_stratum(self):
+        graph = FlowGraph()
+        graph.add(SourceOperator("src"))
+        graph.add(FoldOperator("count", 0, lambda acc, _: acc + 1))
+        graph.add(SinkOperator("out"))
+        graph.connect("src", "count")
+        graph.connect("count", "out")
+        scheduler = TickScheduler(graph)
+        assert scheduler.strata["count"] == scheduler.strata["src"] + 1
+
+    def test_difference_emits_pos_minus_neg(self):
+        graph = FlowGraph()
+        graph.add(SourceOperator("all"))
+        graph.add(SourceOperator("excluded"))
+        graph.add(DifferenceOperator("diff"))
+        graph.add(SinkOperator("out", persistent=True))
+        graph.connect("all", "diff", port="pos")
+        graph.connect("excluded", "diff", port="neg")
+        graph.connect("diff", "out")
+        scheduler = TickScheduler(graph)
+        scheduler.push("all", [1, 2, 3, 4])
+        scheduler.push("excluded", [2, 4])
+        scheduler.run_tick()
+        assert sorted(scheduler.collected("out")) == [1, 3]
+
+    def test_non_stratifiable_cycle_rejected(self):
+        graph = FlowGraph()
+        graph.add(SourceOperator("src"))
+        fold = graph.add(FoldOperator("agg", 0, lambda acc, x: acc + x))
+        graph.add(MapOperator("loop", lambda x: x))
+        graph.connect("src", "agg")
+        graph.connect("agg", "loop")
+        graph.connect("loop", "agg")
+        with pytest.raises(ValueError):
+            TickScheduler(graph)
+
+
+class TestRecursion:
+    def build_transitive_closure(self):
+        """Recursive reachability: classic monotone fixpoint within one tick."""
+        graph = FlowGraph("tc")
+        graph.add(SourceOperator("edges"))
+        graph.add(DistinctOperator("paths", persistent=True))
+        graph.add(
+            HashJoinOperator(
+                "extend",
+                left_key=lambda path: path[1],
+                right_key=lambda edge: edge[0],
+                persistent=True,
+            )
+        )
+        graph.add(MapOperator("compose", lambda match: (match[1][0], match[2][1])))
+        graph.add(SinkOperator("out", persistent=True))
+        graph.connect("edges", "paths")
+        graph.connect("paths", "extend", port="left")
+        graph.connect("edges", "extend", port="right")
+        graph.connect("extend", "compose")
+        graph.connect("compose", "paths")
+        graph.connect("paths", "out")
+        return graph
+
+    def test_transitive_closure_reaches_fixpoint(self):
+        graph = self.build_transitive_closure()
+        scheduler = TickScheduler(graph)
+        scheduler.push("edges", [(1, 2), (2, 3), (3, 4)])
+        result = scheduler.run_tick()
+        paths = set(scheduler.collected("out"))
+        assert (1, 4) in paths
+        assert (1, 3) in paths
+        assert (2, 4) in paths
+        assert result.rounds > 1  # required iteration to reach the fixpoint
+
+    def test_cycle_in_data_terminates(self):
+        graph = self.build_transitive_closure()
+        scheduler = TickScheduler(graph)
+        scheduler.push("edges", [(1, 2), (2, 1)])
+        scheduler.run_tick()
+        paths = set(scheduler.collected("out"))
+        assert (1, 1) in paths and (2, 2) in paths
+
+
+class TestTickSemantics:
+    def test_tick_counter_increments(self):
+        graph = linear_graph()
+        scheduler = TickScheduler(graph)
+        scheduler.run_tick()
+        scheduler.run_tick()
+        assert scheduler.tick_count == 2
+
+    def test_non_persistent_sink_clears_between_ticks(self):
+        graph = FlowGraph()
+        graph.add(SourceOperator("src"))
+        graph.add(SinkOperator("out", persistent=False))
+        graph.connect("src", "out")
+        scheduler = TickScheduler(graph)
+        scheduler.push("src", [1])
+        scheduler.run_tick()
+        scheduler.push("src", [2])
+        scheduler.run_tick()
+        # end_of_tick clears the non-persistent sink after every tick.
+        assert scheduler.collected("out") == []

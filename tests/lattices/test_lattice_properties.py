@@ -1,0 +1,141 @@
+"""Property-based tests: every lattice satisfies the semilattice laws.
+
+The CALM theorem's guarantees rest entirely on merge being associative,
+commutative and idempotent, and on updates being inflationary in the induced
+order.  Hypothesis generates arbitrary lattice points per type and checks
+the laws hold for all of them.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattices import (
+    BoolAnd,
+    BoolOr,
+    GCounter,
+    LWWRegister,
+    MapLattice,
+    MaxInt,
+    MinInt,
+    PNCounter,
+    SetUnion,
+    TwoPhaseSet,
+    VectorClock,
+    is_monotone_on_samples,
+)
+
+REPLICAS = ["r1", "r2", "r3"]
+
+
+# -- strategies ------------------------------------------------------------------
+
+bool_or = st.booleans().map(BoolOr)
+bool_and = st.booleans().map(BoolAnd)
+max_int = st.integers(min_value=-1000, max_value=1000).map(MaxInt)
+min_int = st.integers(min_value=-1000, max_value=1000).map(MinInt)
+set_union = st.frozensets(st.integers(min_value=0, max_value=20), max_size=6).map(SetUnion)
+two_phase = st.tuples(
+    st.frozensets(st.integers(min_value=0, max_value=10), max_size=5),
+    st.frozensets(st.integers(min_value=0, max_value=10), max_size=5),
+).map(lambda pair: TwoPhaseSet(pair[0], pair[1]))
+gcounter = st.dictionaries(st.sampled_from(REPLICAS), st.integers(0, 50), max_size=3).map(GCounter)
+pncounter = st.tuples(gcounter, gcounter).map(lambda pair: PNCounter(pair[0], pair[1]))
+vector_clock = st.dictionaries(st.sampled_from(REPLICAS), st.integers(0, 20), max_size=3).map(VectorClock)
+lww = st.tuples(
+    st.integers(0, 100), st.integers(-5, 5), st.sampled_from(REPLICAS)
+).map(lambda t: LWWRegister(float(t[0]), t[1], t[2]))
+map_lattice = st.dictionaries(
+    st.sampled_from(["a", "b", "c"]), max_int, max_size=3
+).map(MapLattice)
+
+ALL_STRATEGIES = [
+    ("BoolOr", bool_or),
+    ("BoolAnd", bool_and),
+    ("MaxInt", max_int),
+    ("MinInt", min_int),
+    ("SetUnion", set_union),
+    ("TwoPhaseSet", two_phase),
+    ("GCounter", gcounter),
+    ("PNCounter", pncounter),
+    ("VectorClock", vector_clock),
+    ("LWWRegister", lww),
+    ("MapLattice", map_lattice),
+]
+
+any_lattice_triple = st.one_of(
+    *[st.tuples(strategy, strategy, strategy) for _, strategy in ALL_STRATEGIES]
+)
+
+
+@given(any_lattice_triple)
+@settings(max_examples=300)
+def test_merge_is_associative(triple):
+    a, b, c = triple
+    assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+
+@given(any_lattice_triple)
+@settings(max_examples=300)
+def test_merge_is_commutative(triple):
+    a, b, _ = triple
+    assert a.merge(b) == b.merge(a)
+
+
+@given(any_lattice_triple)
+@settings(max_examples=300)
+def test_merge_is_idempotent(triple):
+    a, _, _ = triple
+    assert a.merge(a) == a
+
+
+@given(any_lattice_triple)
+@settings(max_examples=300)
+def test_merge_is_inflationary(triple):
+    a, b, _ = triple
+    merged = a.merge(b)
+    assert a.leq(merged)
+    assert b.leq(merged)
+
+
+@given(any_lattice_triple)
+@settings(max_examples=200)
+def test_bottom_is_identity(triple):
+    a, _, _ = triple
+    bottom = type(a).bottom()
+    assert bottom.merge(a) == a
+    assert a.merge(bottom) == a
+
+
+@given(st.lists(set_union, min_size=2, max_size=6))
+@settings(max_examples=100)
+def test_merge_order_does_not_matter(values):
+    """Folding in any order yields the same least upper bound (confluence)."""
+    forward = values[0]
+    for value in values[1:]:
+        forward = forward.merge(value)
+    backward = values[-1]
+    for value in reversed(values[:-1]):
+        backward = backward.merge(value)
+    assert forward == backward
+
+
+@given(st.lists(set_union, min_size=3, max_size=8))
+@settings(max_examples=100)
+def test_monotone_check_accepts_set_size(samples):
+    """Cardinality is monotone from (sets, ⊆) to (ints, ≤)."""
+    assert is_monotone_on_samples(lambda s: MaxInt(len(s)), samples)
+
+
+@given(st.lists(gcounter, min_size=3, max_size=8))
+@settings(max_examples=100)
+def test_monotone_check_rejects_negated_count(samples):
+    """Negated count is antitone, so the sampled check must reject it
+    whenever the sample contains at least one strictly ordered pair."""
+    has_ordered_pair = any(
+        a.leq(b) and a != b for a in samples for b in samples
+    )
+    verdict = is_monotone_on_samples(lambda c: MaxInt(-c.value), samples)
+    if has_ordered_pair:
+        assert not verdict
+    else:
+        assert verdict

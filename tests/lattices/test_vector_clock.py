@@ -1,0 +1,106 @@
+"""Unit tests for vector clocks, causal values and composite lattices."""
+
+import pytest
+
+from repro.lattices import (
+    CausalValue,
+    DominatingPair,
+    MaxInt,
+    PairLattice,
+    ProductLattice,
+    SetUnion,
+    VectorClock,
+)
+
+
+class TestVectorClock:
+    def test_advance_increments_component(self):
+        clock = VectorClock().advance("a").advance("a").advance("b")
+        assert clock.get("a") == 2
+        assert clock.get("b") == 1
+        assert clock.get("missing") == 0
+
+    def test_merge_is_pointwise_max(self):
+        left = VectorClock({"a": 2, "b": 1})
+        right = VectorClock({"a": 1, "b": 3})
+        merged = left.merge(right)
+        assert merged == VectorClock({"a": 2, "b": 3})
+
+    def test_happens_before(self):
+        early = VectorClock({"a": 1})
+        late = VectorClock({"a": 2, "b": 1})
+        assert early.happens_before(late)
+        assert not late.happens_before(early)
+
+    def test_concurrency(self):
+        left = VectorClock({"a": 1})
+        right = VectorClock({"b": 1})
+        assert left.concurrent_with(right)
+        assert not left.happens_before(right)
+
+    def test_zero_entries_are_normalised_away(self):
+        assert VectorClock({"a": 0}) == VectorClock()
+
+
+class TestCausalValue:
+    def test_dominating_version_wins(self):
+        v1 = CausalValue().updated("n1", SetUnion({1}))
+        v2 = v1.updated("n1", SetUnion({1, 2}))
+        merged = v1.merge(v2)
+        assert merged.payload == SetUnion({1, 2})
+
+    def test_concurrent_versions_merge_payloads(self):
+        base = CausalValue()
+        left = base.updated("n1", SetUnion({"left"}))
+        right = base.updated("n2", SetUnion({"right"}))
+        merged = left.merge(right)
+        assert merged.payload == SetUnion({"left", "right"})
+        assert merged.clock == VectorClock({"n1": 1, "n2": 1})
+
+    def test_merge_with_empty(self):
+        value = CausalValue().updated("n1", SetUnion({1}))
+        assert CausalValue().merge(value) == value
+        assert value.merge(CausalValue()) == value
+
+
+class TestComposites:
+    def test_pair_merges_componentwise(self):
+        left = PairLattice(MaxInt(1), SetUnion({1}))
+        right = PairLattice(MaxInt(5), SetUnion({2}))
+        merged = left.merge(right)
+        assert merged.first == MaxInt(5)
+        assert merged.second == SetUnion({1, 2})
+
+    def test_pair_requires_lattice_components(self):
+        with pytest.raises(TypeError):
+            PairLattice(MaxInt(1), 42)
+
+    def test_product_merges_fieldwise_and_unions_fields(self):
+        left = ProductLattice({"count": MaxInt(1)})
+        right = ProductLattice({"count": MaxInt(3), "seen": SetUnion({"x"})})
+        merged = left.merge(right)
+        assert merged["count"] == MaxInt(3)
+        assert merged["seen"] == SetUnion({"x"})
+
+    def test_product_with_field(self):
+        p = ProductLattice().with_field("flag", MaxInt(2))
+        assert p["flag"] == MaxInt(2)
+
+    def test_dominating_pair_keeps_dominant_value(self):
+        older = DominatingPair(VectorClock({"a": 1}), SetUnion({"old"}))
+        newer = DominatingPair(VectorClock({"a": 2}), SetUnion({"new"}))
+        merged = older.merge(newer)
+        assert merged.value == SetUnion({"new"})
+
+    def test_dominating_pair_merges_concurrent_values(self):
+        left = DominatingPair(VectorClock({"a": 1}), SetUnion({"l"}))
+        right = DominatingPair(VectorClock({"b": 1}), SetUnion({"r"}))
+        merged = left.merge(right)
+        assert merged.value == SetUnion({"l", "r"})
+        assert merged.clock == VectorClock({"a": 1, "b": 1})
+
+    def test_pair_bottom_is_undefined(self):
+        with pytest.raises(TypeError):
+            PairLattice.bottom()
+        with pytest.raises(TypeError):
+            DominatingPair.bottom()

@@ -1,0 +1,183 @@
+"""Tests for MPI collectives and sequential-program lifting (Appendix A.3, §4)."""
+
+import pytest
+
+from repro.cluster import Network, NetworkConfig, Simulator
+from repro.core import SingleNodeInterpreter, analyze_program
+from repro.lifting import MPICluster, build_mpi_program, lift_sequential_program
+from repro.lifting.sequential import (
+    ColumnSpec,
+    MethodSpec,
+    Operation,
+    SequentialTableProgram,
+    TableSpec,
+)
+from repro.lifting.verify import differential_check
+
+
+def mpi_cluster(size=8, seed=3):
+    sim = Simulator(seed=seed)
+    net = Network(sim, NetworkConfig(base_delay=1.0, jitter=0.5))
+    return sim, net, MPICluster(sim, net, size)
+
+
+class TestMPICollectivesNative:
+    def test_bcast_reaches_all_ranks(self):
+        sim, net, cluster = mpi_cluster()
+        cluster.bcast("payload")
+        assert all("payload" in agent.received for agent in cluster.agents)
+
+    def test_tree_bcast_delivers_same_result(self):
+        sim, net, cluster = mpi_cluster()
+        cluster.bcast("payload", algorithm="tree")
+        assert all("payload" in agent.received for agent in cluster.agents)
+
+    def test_scatter_partitions_array(self):
+        sim, net, cluster = mpi_cluster(size=4)
+        cluster.scatter(list(range(8)))
+        chunks = []
+        for agent in cluster.agents:
+            chunk = next(item for item in agent.received if isinstance(item, list))
+            chunks.append(chunk)
+        assert sorted(x for chunk in chunks for x in chunk) == list(range(8))
+
+    def test_gather_assembles_in_rank_order(self):
+        sim, net, cluster = mpi_cluster(size=4)
+        assert cluster.gather(["a", "b", "c", "d"]) == ["a", "b", "c", "d"]
+
+    def test_reduce_naive_and_tree_agree(self):
+        sim, net, cluster = mpi_cluster(size=8)
+        values = list(range(8))
+        naive, _ = cluster.reduce(values, lambda a, b: a + b, algorithm="naive")
+        cluster.clear()
+        tree, _ = cluster.reduce(values, lambda a, b: a + b, algorithm="tree")
+        assert naive == tree == sum(values)
+
+    def test_allreduce_delivers_result_everywhere(self):
+        sim, net, cluster = mpi_cluster(size=4)
+        results = cluster.allreduce([1, 2, 3, 4], lambda a, b: a + b)
+        assert results == [10, 10, 10, 10]
+
+    def test_alltoall_transposes_payloads(self):
+        sim, net, cluster = mpi_cluster(size=3)
+        matrix = [[f"{i}->{j}" for j in range(3)] for i in range(3)]
+        output = cluster.alltoall(matrix)
+        assert output[1] == ["0->1", "1->1", "2->1"]
+
+    def test_invalid_inputs_rejected(self):
+        sim, net, cluster = mpi_cluster(size=3)
+        with pytest.raises(ValueError):
+            cluster.gather([1, 2])
+        with pytest.raises(ValueError):
+            cluster.bcast("x", algorithm="quantum")
+        with pytest.raises(ValueError):
+            MPICluster(sim, net, 0)
+
+
+class TestMPIHydroLogicProgram:
+    def build(self, agents=4):
+        program = build_mpi_program(agents)
+        interp = SingleNodeInterpreter(program)
+        for agent_id in range(agents):
+            interp.call("register_agent", agent_id=agent_id)
+        interp.run_tick()
+        return interp
+
+    def test_bcast_sends_one_message_per_agent(self):
+        interp = self.build(4)
+        assert interp.call_and_run("mpi_bcast", msg_id=1, msg="hello") == 4
+        channels = [send.mailbox for send in interp.outbox]
+        assert channels.count("mpi_bcast_channel") == 4
+
+    def test_scatter_chunks_cover_the_array(self):
+        interp = self.build(4)
+        interp.call_and_run("mpi_scatter", req_id=1, arr=list(range(8)))
+        chunks = [send.payload["subarray"] for send in interp.outbox
+                  if send.mailbox == "mpi_scatter_channel"]
+        assert sorted(x for chunk in chunks for x in chunk) == list(range(8))
+
+    def test_gather_returns_only_after_all_agents_report(self):
+        interp = self.build(3)
+        assert interp.call_and_run("mpi_gather", req_id=7, ix=0, val="a") is None
+        assert interp.call_and_run("mpi_gather", req_id=7, ix=1, val="b") is None
+        assert interp.call_and_run("mpi_gather", req_id=7, ix=2, val="c") == ["a", "b", "c"]
+
+    def test_reduce_folds_operator(self):
+        interp = self.build(3)
+        op = lambda a, b: a + b
+        interp.call_and_run("mpi_reduce", req_id=9, ix=0, val=1, op=op)
+        interp.call_and_run("mpi_reduce", req_id=9, ix=1, val=2, op=op)
+        assert interp.call_and_run("mpi_reduce", req_id=9, ix=2, val=4, op=op) == 7
+
+    def test_gather_handlers_are_monotone(self):
+        report = analyze_program(build_mpi_program(4))
+        assert report.handlers["mpi_gather"].is_monotone
+        assert report.handlers["mpi_bcast"].is_monotone
+
+
+def library_program():
+    """An ORM-flavoured library app: books table plus checkout state."""
+    return SequentialTableProgram(
+        name="library",
+        tables=[
+            TableSpec("books", (ColumnSpec("book_id", int), ColumnSpec("title", str),
+                                ColumnSpec("genre", str), ColumnSpec("borrower", str)), key="book_id"),
+        ],
+        methods=[
+            MethodSpec("add_book", ("book_id", "title", "genre"),
+                       (Operation("insert", table="books"),)),
+            MethodSpec("borrow", ("book_id", "person"),
+                       (Operation("update_field", table="books", column="borrower",
+                                  key_param="book_id", value_param="person"),)),
+            MethodSpec("find_book", ("book_id",),
+                       (Operation("lookup", table="books", key_param="book_id"),)),
+            MethodSpec("by_genre", ("genre",),
+                       (Operation("filter", table="books", column="genre", value_param="genre"),)),
+            MethodSpec("book_count", (),
+                       (Operation("count", table="books"),)),
+            MethodSpec("shelf_code", ("book_id",),
+                       (Operation("udf", fn=lambda book_id: f"shelf-{book_id % 5}"),)),
+        ],
+    )
+
+
+class TestSequentialLifting:
+    def test_native_runtime_works(self):
+        runtime = library_program().native_runtime()
+        runtime.call("add_book", book_id=1, title="Dune", genre="sf")
+        runtime.call("borrow", book_id=1, person="alice")
+        assert runtime.call("find_book", book_id=1)["borrower"] == "alice"
+        assert runtime.call("book_count") == 1
+
+    def test_lifted_program_matches_native_on_a_workload(self):
+        program = library_program()
+        runtime = program.native_runtime()
+        lifted = lift_sequential_program(program)
+
+        operations = [
+            ("add_book", {"book_id": 1, "title": "Dune", "genre": "sf"}),
+            ("add_book", {"book_id": 2, "title": "Emma", "genre": "classic"}),
+            ("add_book", {"book_id": 3, "title": "Foundation", "genre": "sf"}),
+            ("borrow", {"book_id": 1, "person": "alice"}),
+            ("find_book", {"book_id": 1}),
+            ("find_book", {"book_id": 99}),
+            ("by_genre", {"genre": "sf"}),
+            ("book_count", {}),
+            ("shelf_code", {"book_id": 7}),
+        ]
+        report = differential_check(
+            lambda name, kwargs: runtime.call(name, **kwargs), lifted, operations
+        )
+        assert report.equivalent, report.describe()
+
+    def test_monotonicity_classification_of_lifted_methods(self):
+        report = analyze_program(lift_sequential_program(library_program()))
+        assert report.handlers["add_book"].is_monotone       # insert -> merge
+        assert not report.handlers["borrow"].is_monotone     # update -> assign
+        assert report.handlers["find_book"].is_monotone      # read-only
+
+    def test_lifted_udf_method_is_encapsulated(self):
+        lifted = lift_sequential_program(library_program())
+        assert lifted.handlers["shelf_code"].udfs
+        interp = SingleNodeInterpreter(lifted)
+        assert interp.call_and_run("shelf_code", book_id=12) == "shelf-2"

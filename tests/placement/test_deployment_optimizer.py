@@ -1,0 +1,151 @@
+"""Tests for the target-facet deployment optimizer (E5's correctness half)."""
+
+import pytest
+
+from repro.core.errors import NotDeployableError
+from repro.core.facets import TargetSpec
+from repro.placement import (
+    Autoscaler,
+    DeploymentProblem,
+    HandlerLoadModel,
+    MachineType,
+    PerformanceModel,
+    branch_and_bound_solve,
+    greedy_solve,
+    solve_deployment,
+)
+from repro.placement.branch_and_bound import enumerate_solutions
+from repro.placement.machines import DEFAULT_CATALOG
+
+
+def covid_like_problem(objective="machines", rate_scale=1.0):
+    loads = {
+        "add_person": HandlerLoadModel("add_person", 200.0 * rate_scale, 4.0),
+        "add_contact": HandlerLoadModel("add_contact", 400.0 * rate_scale, 6.0),
+        "trace": HandlerLoadModel("trace", 50.0 * rate_scale, 20.0),
+        "likelihood": HandlerLoadModel("likelihood", 20.0 * rate_scale, 80.0,
+                                       requires_processor="gpu"),
+        "vaccinate": HandlerLoadModel("vaccinate", 10.0 * rate_scale, 10.0),
+    }
+    targets = {
+        "add_person": TargetSpec(latency_ms=100.0, cost_units=0.001),
+        "add_contact": TargetSpec(latency_ms=100.0, cost_units=0.001),
+        "trace": TargetSpec(latency_ms=100.0, cost_units=0.01),
+        "likelihood": TargetSpec(latency_ms=200.0, cost_units=0.1, processor="gpu"),
+        "vaccinate": TargetSpec(latency_ms=100.0, cost_units=0.01),
+    }
+    return DeploymentProblem(loads=loads, targets=targets, objective=objective)
+
+
+class TestPerformanceModel:
+    def test_latency_decreases_with_more_instances(self):
+        model = PerformanceModel()
+        load = HandlerLoadModel("h", 300.0, 10.0)
+        machine = DEFAULT_CATALOG[0]
+        lat_few = model.expected_latency_ms(load, machine, 4)
+        lat_many = model.expected_latency_ms(load, machine, 8)
+        assert lat_many < lat_few
+
+    def test_saturation_is_infeasible(self):
+        model = PerformanceModel()
+        load = HandlerLoadModel("h", 300.0, 10.0)
+        machine = DEFAULT_CATALOG[0]  # 100 rps capacity
+        assert model.expected_latency_ms(load, machine, 2) == float("inf")
+
+    def test_min_feasible_instances_respects_latency(self):
+        model = PerformanceModel()
+        load = HandlerLoadModel("h", 250.0, 10.0)
+        machine = DEFAULT_CATALOG[0]
+        target = TargetSpec(latency_ms=15.0, cost_units=None)
+        instances = model.min_feasible_instances(load, target, machine)
+        assert instances is not None
+        assert model.expected_latency_ms(load, machine, instances) <= 15.0
+
+    def test_gpu_requirement_excludes_cpu_machines(self):
+        model = PerformanceModel()
+        load = HandlerLoadModel("ml", 10.0, 50.0, requires_processor="gpu")
+        target = TargetSpec(latency_ms=500.0, cost_units=None, processor="gpu")
+        assert model.min_feasible_instances(load, target, DEFAULT_CATALOG[0]) is None
+        assert model.min_feasible_instances(load, target, DEFAULT_CATALOG[2]) is not None
+
+    def test_cost_per_request_amortises_hourly_price(self):
+        model = PerformanceModel()
+        load = HandlerLoadModel("h", 100.0, 5.0)
+        machine = MachineType("m", hourly_cost=0.36, capacity_rps=200.0)
+        # 0.36/hour at 100 rps = 360k requests/hour -> $0.000001/request
+        assert model.cost_per_request(load, machine, 1) == pytest.approx(1e-6)
+
+
+class TestSolvers:
+    def test_milp_solution_satisfies_all_constraints(self):
+        problem = covid_like_problem()
+        solution = solve_deployment(problem)
+        assert solution.satisfies(problem)
+        assert solution.assignments["likelihood"].machine.processor == "gpu"
+
+    def test_milp_and_branch_and_bound_agree_on_objective(self):
+        problem = covid_like_problem()
+        milp = solve_deployment(problem)
+        bnb = branch_and_bound_solve(problem)
+        assert milp.total_instances == bnb.total_instances
+        assert bnb.satisfies(problem)
+
+    def test_cost_objective_never_costs_more_than_machines_objective(self):
+        machines_solution = solve_deployment(covid_like_problem(objective="machines"))
+        cost_solution = solve_deployment(covid_like_problem(objective="cost"))
+        assert cost_solution.total_hourly_cost <= machines_solution.total_hourly_cost + 1e-9
+
+    def test_optimizer_beats_or_matches_greedy_on_cost(self):
+        problem = covid_like_problem(objective="cost")
+        optimal = solve_deployment(problem)
+        greedy = greedy_solve(problem)
+        assert optimal.total_hourly_cost <= greedy.total_hourly_cost + 1e-9
+
+    def test_infeasible_targets_raise(self):
+        problem = covid_like_problem()
+        problem.targets["trace"] = TargetSpec(latency_ms=0.001, cost_units=0.000001)
+        with pytest.raises(NotDeployableError):
+            solve_deployment(problem)
+
+    def test_enumeration_yields_increasing_objective(self):
+        problem = covid_like_problem()
+        solutions = list(enumerate_solutions(problem, limit=5))
+        assert len(solutions) == 5
+        values = [s.total_instances for s in solutions]
+        assert values == sorted(values)
+
+    def test_describe_lists_every_handler(self):
+        solution = solve_deployment(covid_like_problem())
+        text = solution.describe()
+        for handler in covid_like_problem().loads:
+            assert handler in text
+
+
+class TestAutoscaler:
+    def test_no_replan_within_tolerance(self):
+        scaler = Autoscaler(covid_like_problem(), drift_tolerance=0.5)
+        assert scaler.observe({"add_person": 210.0}) is None
+        assert scaler.replan_count == 0
+
+    def test_replan_on_large_drift_scales_up(self):
+        scaler = Autoscaler(covid_like_problem(), drift_tolerance=0.5)
+        before = scaler.current_solution.total_instances
+        new_solution = scaler.observe({"add_contact": 4000.0})
+        assert new_solution is not None
+        assert scaler.replan_count == 1
+        assert new_solution.total_instances > before
+
+    def test_scale_down_when_load_drops(self):
+        scaler = Autoscaler(covid_like_problem(rate_scale=10.0), drift_tolerance=0.5)
+        before = scaler.current_solution.total_instances
+        new_solution = scaler.observe(
+            {name: 1.0 for name in covid_like_problem().loads}
+        )
+        assert new_solution is not None
+        assert new_solution.total_instances < before
+
+    def test_instance_history_tracks_replans(self):
+        scaler = Autoscaler(covid_like_problem(), drift_tolerance=0.2)
+        scaler.observe({"add_person": 2000.0})
+        scaler.observe({"add_person": 50.0})
+        assert len(scaler.instance_history()) == scaler.replan_count + 1

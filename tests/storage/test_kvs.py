@@ -1,0 +1,103 @@
+"""Tests for the Anna-style lattice KVS and its client."""
+
+import pytest
+
+from repro.cluster import Network, NetworkConfig, Simulator
+from repro.lattices import GCounter, LWWRegister, SetUnion
+from repro.storage import KVSClient, LatticeKVS
+
+
+def build_kvs(shards=4, replication=2, seed=5):
+    sim = Simulator(seed=seed)
+    net = Network(sim, NetworkConfig(base_delay=1.0, jitter=0.5))
+    kvs = LatticeKVS(sim, net, shard_count=shards, replication_factor=replication,
+                     gossip_interval=20.0)
+    return sim, net, kvs
+
+
+class TestLatticeKVS:
+    def test_put_get_round_trip(self):
+        sim, net, kvs = build_kvs()
+        kvs.put("k", SetUnion({1}))
+        kvs.settle()
+        assert kvs.get_merged("k") == SetUnion({1})
+
+    def test_puts_merge_rather_than_overwrite(self):
+        sim, net, kvs = build_kvs()
+        kvs.put("k", SetUnion({1}))
+        kvs.put("k", SetUnion({2}))
+        kvs.settle()
+        assert kvs.get_merged("k") == SetUnion({1, 2})
+
+    def test_replicas_converge_after_settle(self):
+        sim, net, kvs = build_kvs(shards=2, replication=3)
+        for i in range(20):
+            kvs.put(f"key-{i}", GCounter().increment("client", i))
+        kvs.settle()
+        for i in range(20):
+            replicas = kvs.replicas_for(f"key-{i}")
+            values = [replica.value_of(f"key-{i}") for replica in replicas]
+            assert all(value == values[0] for value in values)
+
+    def test_keys_spread_across_shards(self):
+        sim, net, kvs = build_kvs(shards=4, replication=1)
+        for i in range(200):
+            kvs.put(f"key-{i}", SetUnion({i}))
+        kvs.settle()
+        populated = [len(shard[0].store) for shard in kvs.shards]
+        assert all(count > 0 for count in populated)
+        assert sum(populated) == 200
+
+    def test_concurrent_writers_converge_without_coordination(self):
+        """Two writers updating the same key from different replicas converge."""
+        sim, net, kvs = build_kvs(shards=1, replication=2)
+        replica_a, replica_b = kvs.shards[0]
+        replica_a.merge_local("cart", SetUnion({"apple"}))
+        replica_b.merge_local("cart", SetUnion({"banana"}))
+        # Gossip timers run on the simulator; settle to convergence.
+        sim.run(until=100.0)
+        assert replica_a.value_of("cart") == replica_b.value_of("cart") == SetUnion({"apple", "banana"})
+
+    def test_get_with_dead_replica_falls_back(self):
+        sim, net, kvs = build_kvs(shards=1, replication=2)
+        kvs.put("k", LWWRegister(1.0, "v"))
+        kvs.settle()
+        kvs.shards[0][0].crash()
+        assert kvs.get("k") is not None
+
+    def test_invalid_configuration_rejected(self):
+        sim, net, _ = build_kvs()
+        with pytest.raises(ValueError):
+            LatticeKVS(sim, net, shard_count=0)
+
+
+class TestKVSClient:
+    def test_async_put_then_get(self):
+        sim, net, kvs = build_kvs()
+        client = KVSClient("client-1", sim, net, kvs)
+        put_id = client.put("k", SetUnion({"x"}))
+        sim.run(until=200.0)
+        assert client.put_acknowledged(put_id)
+        results = []
+        client.get("k", callback=results.append)
+        sim.run(until=400.0)
+        assert results == [SetUnion({"x"})]
+
+    def test_read_your_writes_before_replication(self):
+        """The session cache merges the client's own writes into stale reads."""
+        sim, net, kvs = build_kvs(shards=1, replication=2)
+        client = KVSClient("client-1", sim, net, kvs)
+        client.put("k", SetUnion({"mine"}))
+        # Immediately read (the put may not have reached the replica served).
+        results = []
+        client.get("k", callback=results.append)
+        sim.run(until=200.0)
+        assert results and "mine" in results[0].elements
+
+    def test_get_of_missing_key_returns_none(self):
+        sim, net, kvs = build_kvs()
+        client = KVSClient("client-1", sim, net, kvs)
+        results = []
+        client.get("missing", callback=results.append)
+        sim.run(until=200.0)
+        assert results == [None]

@@ -1,0 +1,178 @@
+"""Tests for the Chestnut-style layout synthesizer, containers and cost model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synthesis import (
+    CostModel,
+    HashIndexContainer,
+    LayoutSynthesizer,
+    OperationMix,
+    RowListContainer,
+    SortedArrayContainer,
+    WorkloadSpec,
+)
+from repro.synthesis.layouts import LayoutKind, MaterializedLayout, enumerate_candidates
+
+
+def rows(n=100):
+    return [{"pid": i, "country": f"c{i % 7}", "age": i % 90} for i in range(n)]
+
+
+class TestContainers:
+    @pytest.mark.parametrize("container_cls", [RowListContainer, HashIndexContainer, SortedArrayContainer])
+    def test_point_lookup_equivalence(self, container_cls):
+        container = container_cls("pid")
+        for row in rows(50):
+            container.insert(row)
+        assert container.point_lookup("pid", 7) == [{"pid": 7, "country": "c0", "age": 7}]
+        assert container.point_lookup("pid", 999) == []
+        assert len(container) == 50
+
+    @pytest.mark.parametrize("container_cls", [RowListContainer, HashIndexContainer, SortedArrayContainer])
+    def test_range_scan_equivalence(self, container_cls):
+        container = container_cls("age")
+        for row in rows(50):
+            container.insert(row)
+        result = sorted(r["pid"] for r in container.range_scan("age", 10, 12))
+        assert result == [10, 11, 12]
+
+    def test_secondary_attribute_lookup_on_hash(self):
+        container = HashIndexContainer("country")
+        for row in rows(50):
+            container.insert(row)
+        hits = container.point_lookup("country", "c3")
+        assert all(row["country"] == "c3" for row in hits)
+        assert len(hits) == len([r for r in rows(50) if r["country"] == "c3"])
+
+    def test_sorted_container_keeps_order(self):
+        container = SortedArrayContainer("age")
+        for row in reversed(rows(20)):
+            container.insert(row)
+        ages = [row["age"] for row in container.full_scan()]
+        assert ages == sorted(ages)
+
+
+class TestEnumerationAndCost:
+    def test_enumeration_includes_naive_and_indexed(self):
+        candidates = enumerate_candidates("pid", "country", "age")
+        kinds = {candidate.kind for candidate in candidates}
+        assert LayoutKind.ROW_LIST in kinds
+        assert LayoutKind.HASH_ON_KEY in kinds
+        assert LayoutKind.HASH_WITH_SECONDARY in kinds
+        assert LayoutKind.HASH_WITH_SORTED_RANGE in kinds
+
+    def test_cost_model_prefers_hash_for_point_lookups(self):
+        workload = WorkloadSpec("people", "pid", OperationMix(point_lookup=1.0), expected_rows=10_000)
+        cost = CostModel()
+        naive, hashed = enumerate_candidates("pid")[:2]
+        assert cost.workload_cost(hashed, workload) < cost.workload_cost(naive, workload)
+
+    def test_cost_model_charges_index_maintenance(self):
+        workload = WorkloadSpec("people", "pid", OperationMix(insert=1.0), expected_rows=1000,
+                                secondary_attribute="country")
+        cost = CostModel()
+        candidates = {c.kind: c for c in enumerate_candidates("pid", "country")}
+        assert cost.workload_cost(candidates[LayoutKind.HASH_ON_KEY], workload) < cost.workload_cost(
+            candidates[LayoutKind.HASH_WITH_SECONDARY], workload
+        )
+
+
+class TestSynthesizer:
+    def test_lookup_heavy_workload_chooses_hash(self):
+        workload = WorkloadSpec("people", "pid", OperationMix(point_lookup=0.9, insert=0.1),
+                                expected_rows=20_000)
+        result = LayoutSynthesizer().synthesize(workload)
+        assert result.chosen.primary_kind == "hash_index"
+        assert result.predicted_speedup > 100
+
+    def test_scan_only_workload_keeps_row_list(self):
+        workload = WorkloadSpec("log", "id", OperationMix(full_scan=0.5, insert=0.5),
+                                expected_rows=5_000)
+        result = LayoutSynthesizer().synthesize(workload)
+        assert result.chosen.kind == LayoutKind.ROW_LIST or result.chosen.primary_kind == "row_list"
+
+    def test_range_workload_gets_sorted_index(self):
+        workload = WorkloadSpec(
+            "events", "id", OperationMix(point_lookup=0.3, range_scan=0.6, insert=0.1),
+            range_attribute="timestamp", expected_rows=50_000,
+        )
+        result = LayoutSynthesizer().synthesize(workload)
+        chosen = result.chosen
+        has_sorted = chosen.primary_kind == "sorted_array" or any(
+            kind == "sorted_array" for kind, _ in chosen.secondary_indexes
+        )
+        assert has_sorted
+
+    def test_secondary_lookup_workload_gets_secondary_index(self):
+        workload = WorkloadSpec(
+            "people", "pid", OperationMix(secondary_lookup=0.8, insert=0.2),
+            secondary_attribute="country", expected_rows=30_000,
+        )
+        result = LayoutSynthesizer().synthesize(workload)
+        assert any(attr == "country" for _, attr in result.chosen.secondary_indexes) or (
+            result.chosen.primary_attribute == "country"
+        )
+
+    def test_materialized_layout_answers_queries_correctly(self):
+        workload = WorkloadSpec("people", "pid", OperationMix(point_lookup=1.0), expected_rows=100)
+        layout = LayoutSynthesizer().synthesize(workload).materialize()
+        layout.load(rows(100))
+        assert layout.point_lookup("pid", 42)[0]["pid"] == 42
+        assert len(layout.full_scan()) == 100
+
+    def test_describe_includes_ranking(self):
+        workload = WorkloadSpec("people", "pid", OperationMix(point_lookup=1.0), expected_rows=100)
+        text = LayoutSynthesizer().synthesize(workload).describe()
+        assert "chosen" in text and "candidate" in text
+
+    def test_resynthesis_recommended_on_drift(self):
+        synthesizer = LayoutSynthesizer()
+        scan_workload = WorkloadSpec("t", "id", OperationMix(full_scan=1.0), expected_rows=10_000)
+        initial = synthesizer.synthesize(scan_workload)
+        lookup_workload = WorkloadSpec("t", "id", OperationMix(point_lookup=1.0), expected_rows=10_000)
+        switch, result = synthesizer.should_resynthesize(initial.chosen, lookup_workload)
+        assert switch
+        assert result.chosen.primary_kind == "hash_index"
+
+    def test_resynthesis_not_recommended_when_layout_still_optimal(self):
+        synthesizer = LayoutSynthesizer()
+        workload = WorkloadSpec("t", "id", OperationMix(point_lookup=1.0), expected_rows=10_000)
+        initial = synthesizer.synthesize(workload)
+        switch, _ = synthesizer.should_resynthesize(initial.chosen, workload)
+        assert not switch
+
+    def test_invalid_workloads_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("t", "id", OperationMix(secondary_lookup=1.0))  # no secondary attr
+        with pytest.raises(ValueError):
+            WorkloadSpec("t", "id", OperationMix(point_lookup=1.0), expected_rows=0)
+        with pytest.raises(ValueError):
+            OperationMix().normalised()
+
+
+class TestCostModelTracksRealPerformance:
+    """Property: the layout the cost model picks is never slower (in row
+    touches actually executed) than the naive list on lookup-heavy mixes."""
+
+    @given(st.integers(min_value=200, max_value=2000), st.integers(min_value=0, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_chosen_layout_touches_fewer_rows_than_naive(self, n_rows, country_mod):
+        workload = WorkloadSpec(
+            "people", "pid",
+            OperationMix(point_lookup=0.7, secondary_lookup=0.3),
+            secondary_attribute="country", expected_rows=n_rows,
+        )
+        result = LayoutSynthesizer().synthesize(workload)
+        chosen = result.materialize()
+        naive = MaterializedLayout(enumerate_candidates("pid", "country")[0])
+        data = [{"pid": i, "country": f"c{i % 7}"} for i in range(n_rows)]
+        chosen.load(data)
+        naive.load(data)
+        target_pid = n_rows // 2
+        assert chosen.point_lookup("pid", target_pid) == naive.point_lookup("pid", target_pid)
+        target_country = f"c{country_mod}"
+        assert sorted(r["pid"] for r in chosen.point_lookup("country", target_country)) == sorted(
+            r["pid"] for r in naive.point_lookup("country", target_country)
+        )
