@@ -73,3 +73,36 @@ def test_replicas_converge_under_concurrent_conflicting_writes(benchmark):
         [[10, divergent]],
     )
     assert divergent == 0
+
+
+def test_live_resharding_moves_minority_of_keys(benchmark):
+    """Scale a loaded KVS 4 -> 7 shards: consistent hashing migrates roughly
+    3/7 of the keys, where modulo hashing would reshuffle ~86% (only 1 in 7
+    residues agree between ``% 4`` and ``% 7``).  The non-multiple step is
+    deliberate — growing 4 -> 8 would move ~half the keys under either
+    scheme and prove nothing.  Every key must remain readable once
+    replication settles."""
+    operations = 1000
+
+    def run():
+        simulator, kvs = build_kvs(shards=4, replication=2)
+        for index in range(operations):
+            kvs.put(f"key-{index}", GCounter().increment("writer", 1))
+        kvs.settle()
+        report = kvs.reshard(7)
+        kvs.settle()
+        readable = sum(
+            1 for index in range(operations)
+            if kvs.get_merged(f"key-{index}") is not None
+        )
+        return report, readable
+
+    report, readable = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_rows(
+        "E12b: live resharding 4 -> 7 shards under consistent hashing",
+        ["keys", "moved", "moved %", "readable after settle"],
+        [[report.keys_total, report.keys_moved,
+          f"{report.moved_fraction:.1%}", readable]],
+    )
+    assert readable == operations
+    assert report.moved_fraction < 0.6

@@ -18,7 +18,7 @@ design patterns the paper names:
 from repro.availability.proxy import ReplicaProxy
 from repro.availability.replication import ReplicatedEndpoint, ReplicaNode
 from repro.availability.log_shipping import LogShippingPrimary, LogShippingStandby
-from repro.availability.placement import plan_placements
+from repro.availability.placement import plan_placements, ring_spread
 
 __all__ = [
     "ReplicaProxy",
@@ -27,4 +27,5 @@ __all__ = [
     "LogShippingPrimary",
     "LogShippingStandby",
     "plan_placements",
+    "ring_spread",
 ]

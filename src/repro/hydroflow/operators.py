@@ -240,7 +240,11 @@ class FoldOperator(Operator):
 
     Folding is a blocking (non-monotone over streams) operation: the result
     is only emitted by :meth:`flush` once its stratum has quiesced, which is
-    how stratified negation and aggregation are sequenced.
+    how stratified negation and aggregation are sequenced.  The scheduler
+    calls :meth:`flush` repeatedly while driving a stratum to its flush
+    fixpoint, so the fold tracks whether new input arrived since the last
+    flush: a clean fold flushes nothing, a dirty one re-emits the updated
+    accumulator (the late-arrival re-flush the fixpoint requires).
     """
 
     def __init__(
@@ -257,24 +261,28 @@ class FoldOperator(Operator):
         self.persistent = persistent
         self.emit_if_empty = emit_if_empty
         self._accumulator = initial
-        self._received_any = False
+        self._dirty = False
+        self._flushed_this_tick = False
 
     def process(self, port: str, batch: list[Any]) -> list[Any]:
         self.items_processed += len(batch)
         for item in batch:
             self._accumulator = self.func(self._accumulator, item)
-            self._received_any = True
+            self._dirty = True
         return []
 
     def flush(self) -> list[Any]:
-        if self._received_any or self.emit_if_empty:
+        if self._dirty or (self.emit_if_empty and not self._flushed_this_tick):
+            self._dirty = False
+            self._flushed_this_tick = True
             return [self._accumulator]
         return []
 
     def end_of_tick(self) -> None:
         if not self.persistent:
             self._accumulator = self.initial
-        self._received_any = False
+        self._dirty = False
+        self._flushed_this_tick = False
 
     @property
     def value(self) -> Any:

@@ -1,18 +1,27 @@
 """The tick scheduler: stratified fixpoint execution of a flow graph.
 
 Each tick proceeds stratum by stratum.  Within a stratum the scheduler runs
-a worklist loop — operators with pending input are run, their outputs pushed
-to downstream buffers — until no items move (the fixpoint).  Blocking
-operators (folds, the negative side of a difference) are assigned to later
-strata than their producers, reproducing stratified-negation/aggregation
-semantics.  After the last stratum, every operator's ``end_of_tick`` runs,
-which is where non-persistent state is cleared and deferred effects become
-visible — the transducer model of the paper's §3.1.
+an indexed worklist — ports are enqueued on their stratum's ready queue the
+moment an emission lands in their buffer, and each dispatch drains a port's
+whole buffer in one batched ``process`` call — until the queue is empty
+(the fixpoint).  Blocking operators (folds, the negative side of a
+difference) are assigned to later strata than their producers, reproducing
+stratified-negation/aggregation semantics.
+
+Blocking operators release their results via ``flush`` once their stratum
+quiesces.  A flush can feed other operators in the *same* stratum (e.g. a
+difference whose output cycles back through a map), so the scheduler
+alternates run-to-fixpoint and flush passes until a full pass moves nothing
+and flushes nothing — a true flush fixpoint, not a single post-flush re-run.
+After the last stratum, every operator's ``end_of_tick`` runs, which is
+where non-persistent state is cleared and deferred effects become visible —
+the transducer model of the paper's §3.1.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from typing import Any
 
 from repro.hydroflow.graph import FlowGraph, Port
@@ -53,7 +62,11 @@ def blocking_ports(operator: Operator) -> set[str]:
 
 
 class TickScheduler:
-    """Executes a :class:`FlowGraph` one tick at a time."""
+    """Executes a :class:`FlowGraph` one tick at a time.
+
+    The graph is indexed at construction time (strata, downstream fan-out,
+    per-stratum membership); mutating the graph afterwards is unsupported.
+    """
 
     def __init__(self, graph: FlowGraph, max_rounds: int = 100_000) -> None:
         self.graph = graph
@@ -61,6 +74,25 @@ class TickScheduler:
         self.tick_count = 0
         self._buffers: dict[Port, list[Any]] = {}
         self._strata = self._assign_strata()
+        self._max_stratum = max(self._strata.values(), default=0)
+        # Indexes for the ready-queue dispatch loop.
+        self._downstream = {
+            name: graph.downstream_ports(name) for name in graph.operator_names()
+        }
+        self._port_stratum = {
+            port: self._strata[port.operator]
+            for ports in self._downstream.values()
+            for port in ports
+        }
+        self._members: list[list[str]] = [
+            [] for _ in range(self._max_stratum + 1)
+        ]
+        for name in sorted(self._strata):
+            self._members[self._strata[name]].append(name)
+        self._ready: list[deque[Port]] = [
+            deque() for _ in range(self._max_stratum + 1)
+        ]
+        self._queued: set[Port] = set()
 
     # -- stratification ---------------------------------------------------------
 
@@ -98,39 +130,39 @@ class TickScheduler:
     # -- tick execution ---------------------------------------------------------
 
     def run_tick(self) -> TickResult:
-        """Run one tick: drain sources/ingresses, run strata to fixpoint."""
+        """Run one tick: drain sources/ingresses, run strata to flush fixpoint."""
         self.tick_count += 1
         total_items = 0
         total_rounds = 0
 
         # Seed buffers from sources and ingress queues.
         for operator in self.graph.operators():
-            if isinstance(operator, SourceOperator) and operator.has_pending:
-                self._emit(operator.name, operator.drain())
-            elif isinstance(operator, IngressOperator) and operator.has_pending:
+            if isinstance(operator, (SourceOperator, IngressOperator)) and operator.has_pending:
                 self._emit(operator.name, operator.drain())
 
-        max_stratum = max(self._strata.values(), default=0)
-        for stratum in range(max_stratum + 1):
-            members = {
-                name for name, level in self._strata.items() if level == stratum
-            }
-            rounds, items = self._run_stratum(members)
-            total_rounds += rounds
-            total_items += items
-            # Blocking operators release their results once the stratum quiesces.
-            flushed_any = False
-            for name in sorted(members):
-                flushed = self.graph.operator(name).flush()
-                if flushed:
-                    self._emit(name, flushed)
-                    flushed_any = True
-            if flushed_any:
-                rounds, items = self._run_stratum(
-                    {n for n, level in self._strata.items() if level >= stratum}
-                )
+        for stratum in range(self._max_stratum + 1):
+            flush_passes = 0
+            while True:
+                rounds, items = self._run_stratum(stratum)
                 total_rounds += rounds
                 total_items += items
+                # Blocking operators release results once the stratum
+                # quiesces; a flush may re-feed this same stratum, so keep
+                # alternating until a pass flushes and moves nothing.
+                flushed_any = False
+                for name in self._members[stratum]:
+                    flushed = self.graph.operator(name).flush()
+                    if flushed:
+                        self._emit(name, flushed)
+                        flushed_any = True
+                if not flushed_any and not self._ready[stratum]:
+                    break
+                flush_passes += 1
+                if flush_passes > self.max_rounds:
+                    raise RuntimeError(
+                        f"stratum {stratum} did not reach flush fixpoint within "
+                        f"{self.max_rounds} passes; likely a diverging blocking cycle"
+                    )
 
         for operator in self.graph.operators():
             operator.end_of_tick()
@@ -139,7 +171,7 @@ class TickScheduler:
             tick=self.tick_count,
             rounds=total_rounds,
             items_moved=total_items,
-            strata=max_stratum + 1,
+            strata=self._max_stratum + 1,
         )
 
     def run_ticks(self, count: int) -> list[TickResult]:
@@ -150,28 +182,33 @@ class TickScheduler:
     def _emit(self, operator_name: str, items: list[Any]) -> None:
         if not items:
             return
-        for port in self.graph.downstream_ports(operator_name):
-            self._buffers.setdefault(port, []).extend(items)
+        for port in self._downstream[operator_name]:
+            buffer = self._buffers.get(port)
+            if buffer is None:
+                buffer = self._buffers[port] = []
+            buffer.extend(items)
+            if port not in self._queued:
+                self._queued.add(port)
+                self._ready[self._port_stratum[port]].append(port)
 
-    def _run_stratum(self, members: set[str]) -> tuple[int, int]:
+    def _run_stratum(self, stratum: int) -> tuple[int, int]:
+        """Drain the stratum's ready queue to fixpoint; returns (rounds, items)."""
+        queue = self._ready[stratum]
         rounds = 0
         items_moved = 0
-        while True:
-            pending = [
-                port
-                for port, batch in self._buffers.items()
-                if batch and port.operator in members
-            ]
-            if not pending:
-                return rounds, items_moved
+        while queue:
             rounds += 1
             if rounds > self.max_rounds:
                 raise RuntimeError(
                     f"tick did not reach fixpoint within {self.max_rounds} rounds; "
                     "likely a non-monotone cycle in the flow"
                 )
-            for port in pending:
-                batch = self._buffers.get(port, [])
+            # One round dispatches the ports ready at the round's start;
+            # emissions during the round queue up for the next round.
+            for _ in range(len(queue)):
+                port = queue.popleft()
+                self._queued.discard(port)
+                batch = self._buffers.get(port)
                 if not batch:
                     continue
                 self._buffers[port] = []
@@ -179,6 +216,7 @@ class TickScheduler:
                 operator = self.graph.operator(port.operator)
                 output = operator.process(port.name, batch)
                 self._emit(port.operator, output)
+        return rounds, items_moved
 
     # -- conveniences -----------------------------------------------------------
 

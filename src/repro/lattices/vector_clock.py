@@ -20,11 +20,16 @@ class VectorClock(Lattice):
     __slots__ = ("clocks",)
 
     def __init__(self, clocks: Mapping[Hashable, int] | None = None) -> None:
-        items = {node: tick for node, tick in (clocks or {}).items() if tick > 0}
+        items = dict(clocks or {})
         for node, tick in items.items():
             if tick < 0:
                 raise ValueError(f"clock for {node!r} must be non-negative, got {tick}")
-        self.clocks: dict[Hashable, int] = items
+        # Zero entries are the implicit default; dropping them keeps equal
+        # clocks structurally equal.  Validate before filtering — filtering
+        # first would silently discard negative ticks too.
+        self.clocks: dict[Hashable, int] = {
+            node: tick for node, tick in items.items() if tick > 0
+        }
 
     def merge(self, other: "VectorClock") -> "VectorClock":
         merged = dict(self.clocks)

@@ -14,7 +14,16 @@ This package provides that substrate over the cluster simulator:
   read-your-writes session tracking.
 """
 
-from repro.storage.kvs import LatticeKVS, ShardNode
+from repro.storage.kvs import LatticeKVS, ReshardReport, ShardNode
 from repro.storage.client import KVSClient
+from repro.storage.ring import HashRing, stable_digest, stable_key_bytes
 
-__all__ = ["LatticeKVS", "ShardNode", "KVSClient"]
+__all__ = [
+    "LatticeKVS",
+    "ReshardReport",
+    "ShardNode",
+    "KVSClient",
+    "HashRing",
+    "stable_digest",
+    "stable_key_bytes",
+]

@@ -38,7 +38,7 @@ class KVSClient(Node):
         """Asynchronously merge ``value`` into ``key``; returns a request id."""
         request_id = next(self._ids)
         self.session_writes = self.session_writes.insert(key, value)
-        replica = self.kvs._pick_replica(key)
+        replica = self.kvs.pick_replica(key)
         self.send(replica.node_id, "put", {"key": key, "value": value, "request_id": request_id})
         return request_id
 
@@ -48,7 +48,7 @@ class KVSClient(Node):
         request_id = next(self._ids)
         if callback is not None:
             self.pending_gets[request_id] = callback
-        replica = self.kvs._pick_replica(key)
+        replica = self.kvs.pick_replica(key)
         self.send(replica.node_id, "get", {"key": key, "request_id": request_id})
         return request_id
 

@@ -1,17 +1,24 @@
 """The lattice KVS: sharded, replicated, coordination-free.
 
-Keys are assigned to shards by hash; each shard has a configurable number of
+Keys are assigned to shards by a deterministic consistent-hash ring (see
+:mod:`repro.storage.ring`); each shard has a configurable number of
 replicas.  A ``put`` merges a lattice value into one replica (chosen round-
 robin) and is propagated to the shard's other replicas both eagerly (async
 replication messages) and periodically (gossip), so replicas converge
 without locks or consensus.  ``get`` reads any single replica — eventually
 consistent by construction, exactly Anna's model.
+
+Because routing goes through the ring rather than Python's salted builtin
+``hash``, every process agrees on key placement regardless of
+``PYTHONHASHSEED``, and :meth:`LatticeKVS.reshard` can grow or shrink the
+shard count while moving only the keys whose ring ownership changed.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Hashable, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional
 
 from repro.cluster.metrics import MetricsRegistry
 from repro.cluster.network import Message, Network
@@ -19,6 +26,7 @@ from repro.cluster.node import Node
 from repro.cluster.simulator import Simulator
 from repro.lattices.base import BOTTOM, Lattice
 from repro.lattices.maps import MapLattice
+from repro.storage.ring import HashRing, stable_key_bytes
 
 
 class ShardNode(Node):
@@ -31,6 +39,12 @@ class ShardNode(Node):
         self.store = MapLattice()
         self.peers = list(peers or [])
         self.gossip_interval = gossip_interval
+        # Routing-table hook, set by LatticeKVS: key -> current owner
+        # replica ids.  After a reshard, traffic that still arrives here
+        # for a key this replica no longer owns (in-flight puts,
+        # replication, stale gossip) is forwarded instead of stored, so an
+        # acked write can never strand on a shard reads no longer visit.
+        self.ownership: Optional[Callable[[Hashable], list[Hashable]]] = None
         self.puts = 0
         self.gets = 0
         self.on("put", self._on_put)
@@ -51,12 +65,36 @@ class ShardNode(Node):
     def value_of(self, key: Hashable) -> Optional[Lattice]:
         return self.store.get(key)
 
+    def drop_keys(self, keys: set[Hashable]) -> None:
+        """Administratively remove keys (resharding handoff, not a lattice op)."""
+        if any(key in self.store for key in keys):
+            self.store = MapLattice(
+                {k: v for k, v in self.store.items() if k not in keys}
+            )
+
     # -- message handlers ------------------------------------------------------------
+
+    def _misrouted(self, key: Hashable) -> Optional[list[Hashable]]:
+        """The key's current owners, iff this replica is not one of them."""
+        if self.ownership is None:
+            return None
+        owners = self.ownership(key)
+        return None if self.node_id in owners else owners
 
     def _on_put(self, message: Message) -> None:
         payload = message.payload
         key, value, request_id = payload["key"], payload["value"], payload["request_id"]
         self.puts += 1
+        owners = self._misrouted(key)
+        if owners is not None:
+            # Relay the whole put to a current owner, preserving the client
+            # as the source so the put_ack comes from a replica that
+            # durably stored the value — acking here and forwarding
+            # best-effort could acknowledge a write every replica then
+            # drops.
+            self.network.send(message.source, owners[0], "put", payload,
+                              size_bytes=256)
+            return
         self.merge_local(key, value)
         for peer in self.peers:
             self.send(peer, "replicate", {"key": key, "value": value}, size_bytes=256)
@@ -64,7 +102,13 @@ class ShardNode(Node):
 
     def _on_replicate(self, message: Message) -> None:
         payload = message.payload
-        self.merge_local(payload["key"], payload["value"])
+        key, value = payload["key"], payload["value"]
+        owners = self._misrouted(key)
+        if owners is not None:
+            for owner in owners:
+                self.send(owner, "replicate", {"key": key, "value": value}, size_bytes=256)
+        else:
+            self.merge_local(key, value)
 
     def _on_get(self, message: Message) -> None:
         payload = message.payload
@@ -82,17 +126,57 @@ class ShardNode(Node):
     def _gossip_tick(self) -> None:
         if not self.alive:
             return
+        # Snapshot the store before handing it to the (delayed-delivery)
+        # network: the in-flight message must reflect the state at send
+        # time, not whatever this replica mutates into before delivery.
+        snapshot = MapLattice(self.store.entries)
         for peer in self.peers:
-            self.send(peer, "gossip", self.store, size_bytes=1024)
+            self.send(peer, "gossip", snapshot, size_bytes=1024)
         if self.gossip_interval:
             self.set_timer(self.gossip_interval, self._gossip_tick,
                            label=f"kvs-gossip@{self.node_id}")
 
     def _on_gossip(self, message: Message) -> None:
-        self.store = self.store.merge(message.payload)
+        payload = message.payload
+        if self.ownership is not None:
+            # Stale gossip may carry keys this shard handed off during a
+            # reshard; forward them onward rather than resurrecting a
+            # dropped copy on a shard reads no longer visit.
+            kept = {}
+            for key, value in payload.items():
+                owners = self._misrouted(key)
+                if owners is not None:
+                    for owner in owners:
+                        self.send(owner, "replicate", {"key": key, "value": value},
+                                  size_bytes=256)
+                else:
+                    kept[key] = value
+            if len(kept) != len(payload):
+                payload = MapLattice(kept)
+        self.store = self.store.merge(payload)
 
     def reset_state(self) -> None:
         self.store = MapLattice()
+
+
+@dataclass(frozen=True)
+class ReshardReport:
+    """What a :meth:`LatticeKVS.reshard` call did."""
+
+    old_shard_count: int
+    new_shard_count: int
+    keys_moved: int
+    keys_total: int
+
+    @property
+    def moved_fraction(self) -> float:
+        return self.keys_moved / self.keys_total if self.keys_total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"ReshardReport({self.old_shard_count}->{self.new_shard_count} shards, "
+            f"moved {self.keys_moved}/{self.keys_total} keys)"
+        )
 
 
 class LatticeKVS:
@@ -101,39 +185,68 @@ class LatticeKVS:
     def __init__(self, simulator: Simulator, network: Network,
                  shard_count: int = 4, replication_factor: int = 1,
                  gossip_interval: Optional[float] = 25.0,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 vnodes: int = 64) -> None:
         if shard_count < 1 or replication_factor < 1:
             raise ValueError("shard_count and replication_factor must be >= 1")
         self.simulator = simulator
         self.network = network
         self.shard_count = shard_count
         self.replication_factor = replication_factor
+        self.gossip_interval = gossip_interval
         self.metrics = metrics or MetricsRegistry()
+        self.ring = HashRing(vnodes=vnodes)
         self.shards: list[list[ShardNode]] = []
         self._replica_cycle: list[itertools.cycle] = []
+        self._generation = itertools.count()  # unique node ids across reshards
+        # Hot-path memo of ring lookups; invalidated whenever the ring
+        # changes.  Keyed by the canonical byte encoding, not the key
+        # itself: dict equality conflates 1 == True == 1.0, which would
+        # make cached routing depend on query order.
+        self._route_cache: dict[bytes, int] = {}
         for shard_index in range(shard_count):
-            replicas = []
-            for replica_index in range(replication_factor):
-                node_id = f"kvs-s{shard_index}-r{replica_index}"
-                replicas.append(
-                    ShardNode(node_id, simulator, network,
-                              domain=f"az-{replica_index}", gossip_interval=gossip_interval)
-                )
-            replica_ids = [replica.node_id for replica in replicas]
-            for replica in replicas:
-                replica.set_peers(replica_ids)
-            self.shards.append(replicas)
-            self._replica_cycle.append(itertools.cycle(range(replication_factor)))
+            self._build_shard(shard_index)
+            self.ring.add_node(shard_index)
+
+    def _build_shard(self, shard_index: int) -> None:
+        """Create the replica group for ``shard_index`` and register its peers."""
+        generation = next(self._generation)
+        replicas = []
+        for replica_index in range(self.replication_factor):
+            node_id = f"kvs-g{generation}-s{shard_index}-r{replica_index}"
+            replicas.append(
+                ShardNode(node_id, self.simulator, self.network,
+                          domain=f"az-{replica_index}",
+                          gossip_interval=self.gossip_interval)
+            )
+        replica_ids = [replica.node_id for replica in replicas]
+        for replica in replicas:
+            replica.set_peers(replica_ids)
+            replica.ownership = self._owners_of
+        self.shards.append(replicas)
+        self._replica_cycle.append(itertools.cycle(range(self.replication_factor)))
+
+    def _owners_of(self, key: Hashable) -> list[Hashable]:
+        """Current owner replica ids for ``key`` (the replicas' routing table)."""
+        return [replica.node_id for replica in self.shards[self.shard_for(key)]]
 
     # -- routing ------------------------------------------------------------------------
 
     def shard_for(self, key: Hashable) -> int:
-        return hash(key) % self.shard_count
+        """The shard owning ``key`` — deterministic under any PYTHONHASHSEED."""
+        cache_key = stable_key_bytes(key)
+        shard = self._route_cache.get(cache_key)
+        if shard is None:
+            if len(self._route_cache) >= 1_000_000:
+                self._route_cache.clear()
+            shard = self._route_cache[cache_key] = self.ring.node_for(key)
+        return shard
 
     def replicas_for(self, key: Hashable) -> list[ShardNode]:
         return self.shards[self.shard_for(key)]
 
-    def _pick_replica(self, key: Hashable) -> ShardNode:
+    def pick_replica(self, key: Hashable) -> ShardNode:
+        """Route ``key`` to a live replica of its shard (round-robin)."""
         shard_index = self.shard_for(key)
         replicas = self.shards[shard_index]
         for _ in range(len(replicas)):
@@ -142,11 +255,14 @@ class LatticeKVS:
                 return replica
         return replicas[0]
 
+    # Backwards-compatible alias; prefer :meth:`pick_replica`.
+    _pick_replica = pick_replica
+
     # -- synchronous-style API (drives the simulator internally) --------------------------
 
     def put(self, key: Hashable, value: Lattice) -> None:
         """Merge ``value`` into ``key`` at one replica and replicate asynchronously."""
-        replica = self._pick_replica(key)
+        replica = self.pick_replica(key)
         replica.merge_local(key, value)
         self.metrics.increment("kvs.puts")
         for peer_id in replica.peers:
@@ -156,7 +272,7 @@ class LatticeKVS:
     def get(self, key: Hashable) -> Optional[Lattice]:
         """Read ``key`` from one (possibly stale) replica."""
         self.metrics.increment("kvs.gets")
-        replica = self._pick_replica(key)
+        replica = self.pick_replica(key)
         return replica.value_of(key)
 
     def get_merged(self, key: Hashable) -> Optional[Lattice]:
@@ -180,10 +296,97 @@ class LatticeKVS:
         """
         self.simulator.run(until=self.simulator.now + horizon)
 
+    # -- resharding -------------------------------------------------------------------
+
+    def reshard(self, new_shard_count: int) -> ReshardReport:
+        """Grow or shrink the cluster to ``new_shard_count`` shards live.
+
+        Consistent hashing keeps movement minimal: only keys whose ring
+        ownership changed are migrated.  Each moved key's locally-merged
+        value lands synchronously on one replica of its new shard (so a
+        dropped network message cannot lose it) and fans out to the other
+        replicas asynchronously; every replica checks its routing table on
+        arriving traffic, so in-flight or stale messages for a moved key
+        (puts, replication, gossip) are redirected to the new owners
+        instead of stranding on a shard reads no longer visit.  Lattice
+        merge makes
+        all of this safe to interleave with live writes; call
+        :meth:`settle` before expecting :meth:`get_merged` to observe
+        every moved key on every replica.
+        """
+        if new_shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        old_shard_count = self.shard_count
+        if new_shard_count == old_shard_count:
+            return ReshardReport(old_shard_count, new_shard_count, 0, self.total_keys())
+
+        for shard_index in range(old_shard_count, new_shard_count):
+            self._build_shard(shard_index)
+            self.ring.add_node(shard_index)
+        removed = list(range(new_shard_count, old_shard_count))
+        for shard_index in removed:
+            self.ring.remove_node(shard_index)
+        self.shard_count = new_shard_count
+        self._route_cache.clear()
+
+        moved = 0
+        total = 0
+        for shard_index in range(old_shard_count):
+            replicas = self.shards[shard_index]
+            keys = {key for replica in replicas for key in replica.store}
+            source = next((r for r in replicas if r.alive), replicas[0])
+            moved_keys: set[Hashable] = set()
+            for key in sorted(keys, key=repr):
+                total += 1
+                target = self.ring.node_for(key)
+                if target == shard_index:
+                    continue
+                moved += 1
+                moved_keys.add(key)
+                merged: Any = BOTTOM
+                for replica in replicas:
+                    value = replica.value_of(key)
+                    if value is not None:
+                        merged = merged.merge(value)
+                target_replicas = self.shards[target]
+                # Land one durable copy synchronously (mirroring put());
+                # only then drop the source and fan out asynchronously, so
+                # a dropped migration message can never lose the key.
+                landing = next((r for r in target_replicas if r.alive),
+                               target_replicas[0])
+                landing.merge_local(key, merged)
+                for target_replica in target_replicas:
+                    if target_replica is landing:
+                        continue
+                    self.network.send(source.node_id, target_replica.node_id,
+                                      "replicate", {"key": key, "value": merged},
+                                      size_bytes=512)
+            if moved_keys:
+                for replica in replicas:
+                    replica.drop_keys(moved_keys)
+
+        for shard_index in removed:
+            for replica in self.shards[shard_index]:
+                replica.crash()
+        if removed:
+            self.shards = self.shards[:new_shard_count]
+            self._replica_cycle = self._replica_cycle[:new_shard_count]
+
+        self.metrics.increment("kvs.reshards")
+        return ReshardReport(old_shard_count, new_shard_count, moved, total)
+
     # -- reporting --------------------------------------------------------------------------
 
     def all_nodes(self) -> list[ShardNode]:
         return [replica for shard in self.shards for replica in shard]
 
     def total_keys(self) -> int:
-        return sum(len(replica.store) for shard in self.shards for replica in shard[:1])
+        """Distinct keys stored, counting each shard's key once across replicas.
+
+        Before convergence a key may exist on only some replicas of its
+        shard; the union per shard counts it exactly once either way.
+        """
+        return sum(
+            len({key for replica in shard for key in replica.store})
+            for shard in self.shards
+        )

@@ -153,3 +153,32 @@ class TestPlacementPlanning:
         topo, nodes = self.topology(azs=2, per_az=1)
         with pytest.raises(NotDeployableError):
             plan_placements(program, topo, nodes)
+
+    def test_placements_deterministic_and_ring_stable(self):
+        """Placement comes from a consistent-hash ring walk: identical across
+        runs, and adding one node only disturbs handlers whose walk hits it."""
+        program = build_covid_program()
+        topo, nodes = self.topology()
+        first = plan_placements(program, topo, nodes)
+        second = plan_placements(program, topo, nodes)
+        assert {h: p.replicas for h, p in first.items()} == \
+            {h: p.replicas for h, p in second.items()}
+        # Node churn: one extra node must not reshuffle every placement.
+        topo2, nodes2 = self.topology()
+        topo2.place("n-extra", az="az-0", vm="vm-extra")
+        churned = plan_placements(program, topo2, nodes2 + ["n-extra"])
+        unchanged = sum(
+            1 for handler in first
+            if churned[handler].replicas == first[handler].replicas
+        )
+        assert unchanged >= len(first) // 2
+
+    def test_placements_spread_replicas_across_handlers(self):
+        """The ring walk starts at each handler's digest, so different
+        handlers spread load over different nodes instead of piling onto a
+        fixed candidate prefix."""
+        program = build_covid_program()
+        topo, nodes = self.topology()
+        placements = plan_placements(program, topo, nodes)
+        used = {replica for p in placements.values() for replica in p.replicas}
+        assert len(used) > 3

@@ -240,6 +240,102 @@ class TestRecursion:
         assert (1, 1) in paths and (2, 2) in paths
 
 
+class TestFlushFixpoint:
+    """The scheduler must alternate run/flush until quiescence, not re-run once."""
+
+    def countdown_graph(self):
+        """A difference whose output cycles back (decremented) into its own
+        positive input: each flush can produce new same-stratum work."""
+        graph = FlowGraph("countdown")
+        graph.add(SourceOperator("all"))
+        graph.add(SourceOperator("excluded"))
+        graph.add(DifferenceOperator("diff"))
+        graph.add(MapOperator("dec", lambda x: x - 1))
+        graph.add(FilterOperator("positive", lambda x: x > 0))
+        graph.add(SinkOperator("out", persistent=True))
+        graph.connect("all", "diff", port="pos")
+        graph.connect("excluded", "diff", port="neg")
+        graph.connect("diff", "out")
+        graph.connect("diff", "dec")
+        graph.connect("dec", "positive")
+        graph.connect("positive", "diff", port="pos")
+        return graph
+
+    def test_same_stratum_flush_output_reflushes_until_quiescence(self):
+        graph = self.countdown_graph()
+        scheduler = TickScheduler(graph)
+        scheduler.push("all", [5])
+        scheduler.push("excluded", [3])
+        scheduler.run_tick()
+        # 5 emitted, cycles to 4, 4 cycles to 3 which the neg side blocks:
+        # the items after the first flush used to be silently dropped.
+        assert sorted(scheduler.collected("out")) == [4, 5]
+
+    def test_fold_downstream_of_flush_cycle_sees_all_items(self):
+        """A fold fed by a flush-cycling stratum must aggregate the items
+        produced by every flush pass of that stratum, not just the first."""
+        graph = self.countdown_graph()
+        graph.add(FoldOperator("count", 0, lambda acc, _: acc + 1))
+        graph.add(SinkOperator("counted", persistent=True))
+        graph.connect("diff", "count")
+        graph.connect("count", "counted")
+        scheduler = TickScheduler(graph)
+        scheduler.push("all", [5])
+        scheduler.run_tick()
+        # 5, 4, 3, 2, 1 all clear the (empty) neg side.
+        assert sorted(scheduler.collected("out")) == [1, 2, 3, 4, 5]
+        assert scheduler.collected("counted") == [5]
+
+    def test_flush_feeding_a_same_stratum_difference_is_not_lost(self):
+        """Two differences in one stratum: the first's flush feeds the
+        second, whose own flush already ran in the same pass."""
+        graph = FlowGraph("chained-diffs")
+        graph.add(SourceOperator("src"))
+        graph.add(FoldOperator("total", 0, lambda acc, x: acc + x))
+        graph.add(DifferenceOperator("first"))
+        graph.add(DifferenceOperator("second"))
+        graph.add(SinkOperator("out", persistent=True))
+        graph.connect("src", "total")
+        graph.connect("src", "first", port="pos")
+        graph.connect("total", "first", port="neg")
+        graph.connect("first", "second", port="pos")
+        graph.connect("total", "second", port="neg")
+        graph.connect("second", "out")
+        scheduler = TickScheduler(graph)
+        assert scheduler.strata["first"] == scheduler.strata["second"]
+        scheduler.push("src", [1, 2, 3])
+        scheduler.run_tick()
+        # total=6 blocks nothing in [1,2,3]; both differences pass all items.
+        assert sorted(scheduler.collected("out")) == [1, 2, 3]
+
+    def test_fold_reflushes_after_late_input(self):
+        """Operator-level contract: a fold that receives input after a flush
+        emits the updated accumulator on the next flush; a clean fold is
+        silent (so the scheduler's flush fixpoint terminates)."""
+        fold = FoldOperator("sum", 0, lambda acc, x: acc + x)
+        fold.process("in", [1, 2])
+        assert fold.flush() == [3]
+        assert fold.flush() == []
+        fold.process("in", [4])
+        assert fold.flush() == [7]
+        fold.end_of_tick()
+        assert fold.flush() == []
+
+    def test_emit_if_empty_fold_still_emits_once_per_tick(self):
+        graph = FlowGraph()
+        graph.add(SourceOperator("src"))
+        graph.add(FoldOperator("count", 0, lambda acc, _: acc + 1, emit_if_empty=True))
+        graph.add(SinkOperator("out", persistent=True))
+        graph.connect("src", "count")
+        graph.connect("count", "out")
+        scheduler = TickScheduler(graph)
+        scheduler.run_tick()
+        assert scheduler.collected("out") == [0]
+        scheduler.push("src", [1, 2])
+        scheduler.run_tick()
+        assert scheduler.collected("out") == [0, 2]
+
+
 class TestTickSemantics:
     def test_tick_counter_increments(self):
         graph = linear_graph()

@@ -41,6 +41,14 @@ class TestVectorClock:
     def test_zero_entries_are_normalised_away(self):
         assert VectorClock({"a": 0}) == VectorClock()
 
+    def test_negative_tick_rejected(self):
+        # Regression: the zero-filter used to run before validation, which
+        # silently dropped negative ticks instead of raising.
+        with pytest.raises(ValueError):
+            VectorClock({"a": -1})
+        with pytest.raises(ValueError):
+            VectorClock({"a": 2, "b": -3})
+
 
 class TestCausalValue:
     def test_dominating_version_wins(self):

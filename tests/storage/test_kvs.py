@@ -1,5 +1,10 @@
 """Tests for the Anna-style lattice KVS and its client."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.cluster import Network, NetworkConfig, Simulator
@@ -69,6 +74,177 @@ class TestLatticeKVS:
         sim, net, _ = build_kvs()
         with pytest.raises(ValueError):
             LatticeKVS(sim, net, shard_count=0)
+
+    def test_total_keys_counts_unconverged_replicas(self):
+        """Regression: keys that only reached a non-first replica must count."""
+        sim, net, kvs = build_kvs(shards=1, replication=3)
+        # Merge directly into the *last* replica; no replication has run.
+        kvs.shards[0][2].merge_local("only-here", SetUnion({1}))
+        assert kvs.total_keys() == 1
+        # Converged copies of the same key still count once.
+        kvs.settle()
+        assert kvs.total_keys() == 1
+
+    def test_gossip_sends_snapshot_not_live_store(self):
+        """Regression: an in-flight gossip message must not observe writes
+        made after it was sent."""
+        sim, net, kvs = build_kvs(shards=1, replication=2, seed=11)
+        replica_a, replica_b = kvs.shards[0]
+        replica_a.merge_local("k", SetUnion({"before"}))
+        # Fire a gossip round explicitly; the message is now in flight.
+        replica_a._gossip_tick()
+        # Mutate the sender's live store object in place before delivery.
+        replica_a.store.entries["k"] = SetUnion({"before", "leaked"})
+        sim.run(until=sim.now + 10.0)
+        assert replica_b.value_of("k") == SetUnion({"before"})
+
+
+class TestResharding:
+    def populate(self, kvs, count=200):
+        for i in range(count):
+            kvs.put(f"key-{i}", SetUnion({i}))
+        kvs.settle()
+
+    def test_grow_moves_minority_of_keys_and_converges(self):
+        """Scale a live KVS 4 -> 8 shards; consistent hashing keeps most keys
+        in place and every key remains readable after settle()."""
+        sim, net, kvs = build_kvs(shards=4, replication=2)
+        self.populate(kvs, 200)
+        report = kvs.reshard(8)
+        assert report.keys_total == 200
+        assert report.moved_fraction < 0.6
+        assert kvs.shard_count == 8 and len(kvs.shards) == 8
+        kvs.settle()
+        for i in range(200):
+            assert kvs.get_merged(f"key-{i}") == SetUnion({i})
+        # Moved keys actually live on their new home shard.
+        populated = sum(
+            1 for shard in kvs.shards
+            if any(len(replica.store) for replica in shard)
+        )
+        assert populated == 8
+
+    def test_grow_keeps_routing_consistent_with_storage(self):
+        sim, net, kvs = build_kvs(shards=4, replication=1)
+        self.populate(kvs, 100)
+        kvs.reshard(8)
+        kvs.settle()
+        for i in range(100):
+            key = f"key-{i}"
+            shard = kvs.shard_for(key)
+            assert kvs.shards[shard][0].value_of(key) == SetUnion({i})
+
+    def test_shrink_drains_removed_shards(self):
+        sim, net, kvs = build_kvs(shards=8, replication=2)
+        self.populate(kvs, 150)
+        report = kvs.reshard(4)
+        kvs.settle()
+        assert kvs.shard_count == 4 and len(kvs.shards) == 4
+        assert report.keys_total == 150
+        for i in range(150):
+            assert kvs.get_merged(f"key-{i}") == SetUnion({i})
+
+    def test_writes_after_reshard_route_to_new_shards(self):
+        sim, net, kvs = build_kvs(shards=4, replication=2)
+        self.populate(kvs, 50)
+        kvs.reshard(8)
+        kvs.put("key-3", SetUnion({"late"}))
+        kvs.settle()
+        merged = kvs.get_merged("key-3")
+        assert 3 in merged.elements and "late" in merged.elements
+
+    def test_inflight_put_during_reshard_is_forwarded_not_lost(self):
+        """A put acked by the old owner shard after the key moved must be
+        forwarded to the new owners, not stranded where reads never look."""
+        sim, net, kvs = build_kvs(shards=4, replication=2)
+        client = KVSClient("client-1", sim, net, kvs)
+        ids = [client.put(f"key-{i}", SetUnion({i})) for i in range(30)]
+        # Reshard while every put message is still in flight.
+        kvs.reshard(8)
+        kvs.settle()
+        assert all(client.put_acknowledged(request_id) for request_id in ids)
+        for i in range(30):
+            merged = kvs.get_merged(f"key-{i}")
+            assert merged is not None and i in merged.elements
+
+    def test_migration_survives_total_message_loss(self):
+        """The migrated value lands synchronously on one new-home replica,
+        so even a network dropping every message cannot lose a key."""
+        from repro.cluster import NetworkConfig, Simulator, Network
+
+        sim = Simulator(seed=5)
+        net = Network(sim, NetworkConfig(base_delay=1.0, jitter=0.5))
+        kvs = LatticeKVS(sim, net, shard_count=4, replication_factor=1,
+                         gossip_interval=20.0)
+        for i in range(50):
+            kvs.pick_replica(f"key-{i}").merge_local(f"key-{i}", SetUnion({i}))
+        net.config.drop_rate = 1.0
+        kvs.reshard(8)
+        kvs.settle()
+        for i in range(50):
+            assert kvs.get_merged(f"key-{i}") == SetUnion({i})
+
+    def test_stale_gossip_does_not_resurrect_moved_keys(self):
+        """Gossip sent before the reshard must not re-create dropped copies
+        on the old shard; the old shard forwards them to the new owners."""
+        sim, net, kvs = build_kvs(shards=2, replication=2, seed=13)
+        self.populate(kvs, 60)
+        old_stores = {id(r): None for shard in kvs.shards for r in shard}
+        # Fire gossip explicitly so full-store messages are in flight...
+        for shard in kvs.shards:
+            for replica in shard:
+                replica._gossip_tick()
+        # ...then move keys away and deliver the stale gossip.
+        kvs.reshard(6)
+        kvs.settle()
+        for shard_index, shard in enumerate(kvs.shards):
+            for replica in shard:
+                for key in replica.store:
+                    assert kvs.shard_for(key) == shard_index, (
+                        f"{key!r} resurrected on shard {shard_index}"
+                    )
+
+    def test_noop_and_invalid_reshard(self):
+        sim, net, kvs = build_kvs(shards=4, replication=1)
+        self.populate(kvs, 20)
+        report = kvs.reshard(4)
+        assert report.keys_moved == 0
+        with pytest.raises(ValueError):
+            kvs.reshard(0)
+
+
+class TestRoutingDeterminism:
+    def test_route_cache_does_not_conflate_equal_keys_across_types(self):
+        """1, True and 1.0 compare equal but occupy distinct ring positions;
+        a cache keyed by the raw key would make routing query-order
+        dependent."""
+        sim, net, kvs = build_kvs(shards=8, replication=1)
+        for order in ([1, True, 1.0], [1.0, True, 1]):
+            kvs._route_cache.clear()
+            for key in order:
+                assert kvs.shard_for(key) == kvs.ring.node_for(key)
+
+
+    def test_shard_assignment_identical_across_hashseeds(self):
+        """End-to-end: LatticeKVS places keys identically in two processes
+        started with different PYTHONHASHSEED values."""
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        script = (
+            "from repro.cluster import Network, NetworkConfig, Simulator\n"
+            "from repro.storage import LatticeKVS\n"
+            "sim = Simulator(seed=5)\n"
+            "net = Network(sim, NetworkConfig(base_delay=1.0, jitter=0.5))\n"
+            "kvs = LatticeKVS(sim, net, shard_count=8)\n"
+            "print([kvs.shard_for(f'key-{i}') for i in range(300)])\n"
+        )
+        outputs = []
+        for seed in ("1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=seed,
+                       PYTHONPATH=src + os.pathsep + os.environ.get("PYTHONPATH", ""))
+            result = subprocess.run([sys.executable, "-c", script], env=env,
+                                    capture_output=True, text=True, check=True)
+            outputs.append(result.stdout)
+        assert outputs[0] == outputs[1]
 
 
 class TestKVSClient:
