@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Hashable, Iterable, Optional
 
-from repro.cluster.network import Message
+from repro.cluster.network import Message, wire_size
 from repro.cluster.node import Node
 from repro.core.interpreter import SingleNodeInterpreter
 from repro.core.program import HydroProgram
@@ -79,8 +79,12 @@ class ReplicaNode(Node):
     def push_gossip(self) -> None:
         """Send a snapshot of local state to every peer for lattice merge."""
         snapshot = self.interpreter.state.snapshot()
+        # Size the payload by what it actually carries (rows + vars), so the
+        # network simulator charges bandwidth honestly.
+        entry_count = (sum(len(table) for table in snapshot.tables.values())
+                       + len(snapshot.vars))
         for peer in self.peers:
-            self.send(peer, "gossip", snapshot, size_bytes=1024)
+            self.send(peer, "gossip", snapshot, size_bytes=wire_size(entry_count))
 
     def _on_gossip(self, message: Message) -> None:
         self.interpreter.state.merge_from(message.payload)

@@ -20,7 +20,15 @@ order, so a given seed always yields the same trace.
 """
 
 from repro.cluster.simulator import Event, Simulator
-from repro.cluster.network import Message, Network, NetworkConfig, Partition
+from repro.cluster.network import (
+    Message,
+    Network,
+    NetworkConfig,
+    Partition,
+    WIRE_ENTRY_BYTES,
+    WIRE_HEADER_BYTES,
+    wire_size,
+)
 from repro.cluster.node import Node
 from repro.cluster.domains import FailureDomain, Placement, Topology
 from repro.cluster.failure import CrashPlan, FailureInjector
@@ -41,4 +49,7 @@ __all__ = [
     "CrashPlan",
     "MetricsRegistry",
     "LatencyRecorder",
+    "wire_size",
+    "WIRE_HEADER_BYTES",
+    "WIRE_ENTRY_BYTES",
 ]

@@ -15,6 +15,22 @@ from typing import Any, Callable, Hashable, Optional
 
 from repro.cluster.simulator import Simulator
 
+#: Modelled fixed cost of any message: routing envelope, mailbox name, ids.
+WIRE_HEADER_BYTES = 24
+#: Modelled marginal cost of one key/value entry in a storage payload.
+WIRE_ENTRY_BYTES = 96
+
+
+def wire_size(entry_count: int) -> int:
+    """Modelled size of a payload carrying ``entry_count`` key/value entries.
+
+    The simulator does not serialize payloads, so bandwidth accounting has
+    to be declared by senders.  Sizing by entry count (instead of a flat
+    constant) is what lets ``Network.bytes_sent`` distinguish a delta gossip
+    of 3 changed keys from a full-store snapshot of 5000.
+    """
+    return WIRE_HEADER_BYTES + WIRE_ENTRY_BYTES * entry_count
+
 
 @dataclass(frozen=True)
 class Message:

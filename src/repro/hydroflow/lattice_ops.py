@@ -20,18 +20,52 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.lattices.base import BOTTOM, Lattice
+from repro.lattices.base import BOTTOM, Lattice, owns_merge_result
 from repro.hydroflow.operators import Operator
 
 
+def _accumulate(state: Any, owned: bool, item: Lattice) -> tuple[Any, bool, bool]:
+    """One step of an owned in-place lattice fold.
+
+    Returns ``(new_state, owned, grew)``.  For types with a fast ``leq``
+    override, growth is detected without allocating and the state is
+    mutated via ``merge_into`` once the fold holds a privately allocated
+    accumulator; types still on the base merge-derived ``leq`` get a single
+    merge-then-compare instead (paying the fallback ``leq`` *and* the merge
+    would double the work).  ``item`` and the initial state are never
+    mutated.
+    """
+    if isinstance(state, Lattice):
+        if type(item).leq is not Lattice.leq:
+            if item.leq(state):
+                return state, owned, False
+        else:
+            merged = state.merge(item)
+            if merged == state:
+                return state, owned, False
+            return merged, owns_merge_result(merged, state, item), True
+    elif item.is_bottom():  # state is BOTTOM, a bottom item cannot grow it
+        return state, owned, False
+    if owned:
+        return state.merge_into(item), True, True
+    merged = state.merge(item)
+    return merged, owns_merge_result(merged, state, item), True
+
+
 class LatticeMergeOperator(Operator):
-    """Accumulates arriving lattice values into a single growing state."""
+    """Accumulates arriving lattice values into a single growing state.
+
+    The accumulator grows in place (O(item) per arrival, not O(state));
+    emitting the state hands the reference downstream, so ownership is
+    relinquished on every emission and the next merge copies first.
+    """
 
     def __init__(self, name: str, initial: Lattice | None = None, persistent: bool = True) -> None:
         super().__init__(name)
         self.persistent = persistent
         self._initial = initial
         self._state: Any = initial if initial is not None else BOTTOM
+        self._owned = False
 
     def process(self, port: str, batch: list[Any]) -> list[Any]:
         self.items_processed += len(batch)
@@ -41,19 +75,24 @@ class LatticeMergeOperator(Operator):
                 raise TypeError(
                     f"lattice merge {self.name!r} received non-lattice item {item!r}"
                 )
-            merged = self._state.merge(item)
-            if merged != self._state:
-                self._state = merged
-                grew = True
-        return [self._state] if grew else []
+            self._state, self._owned, step_grew = _accumulate(
+                self._state, self._owned, item)
+            grew = grew or step_grew
+        if grew:
+            self._owned = False
+            return [self._state]
+        return []
 
     @property
     def state(self) -> Any:
+        # The reference escapes; future merges must copy-on-write.
+        self._owned = False
         return self._state
 
     def end_of_tick(self) -> None:
         if not self.persistent:
             self._state = self._initial if self._initial is not None else BOTTOM
+            self._owned = False
 
 
 class LatticeMapOperator(Operator):
@@ -94,6 +133,7 @@ class LatticeThresholdOperator(Operator):
         self.predicate = predicate
         self.emit = emit or (lambda state: state)
         self._state: Any = initial if initial is not None else BOTTOM
+        self._owned = False
         self.fired = False
 
     def process(self, port: str, batch: list[Any]) -> list[Any]:
@@ -103,14 +143,17 @@ class LatticeThresholdOperator(Operator):
                 raise TypeError(
                     f"threshold {self.name!r} received non-lattice item {item!r}"
                 )
-            self._state = self._state.merge(item)
+            self._state, self._owned, _ = _accumulate(self._state, self._owned, item)
         if not self.fired and self.predicate(self._state):
             self.fired = True
+            self._owned = False  # the emitted reference escapes
             return [self.emit(self._state)]
         return []
 
     @property
     def state(self) -> Any:
+        # The reference escapes; future merges must copy-on-write.
+        self._owned = False
         return self._state
 
     def end_of_tick(self) -> None:

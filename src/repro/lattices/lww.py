@@ -31,15 +31,21 @@ class LWWRegister(Lattice):
         self.value = value
         self.tiebreak = tiebreak
 
-    def merge(self, other: "LWWRegister") -> "LWWRegister":
+    def _sort_key(self) -> tuple:
         # The final repr(value) component makes the order total even when two
         # writes collide on (timestamp, tiebreak), which keeps merge
         # commutative in the degenerate case of duplicate tags.
-        self_key = (self.timestamp, _tiebreak_key(self.tiebreak), repr(self.value))
-        other_key = (other.timestamp, _tiebreak_key(other.tiebreak), repr(other.value))
-        if self_key >= other_key:
+        return (self.timestamp, _tiebreak_key(self.tiebreak), repr(self.value))
+
+    def merge(self, other: "LWWRegister") -> "LWWRegister":
+        if self._sort_key() >= other._sort_key():
             return LWWRegister(self.timestamp, self.value, self.tiebreak)
         return LWWRegister(other.timestamp, other.value, other.tiebreak)
+
+    def leq(self, other: "LWWRegister") -> bool:
+        if not isinstance(other, LWWRegister):
+            return super().leq(other)
+        return self._sort_key() <= other._sort_key()
 
     @classmethod
     def bottom(cls) -> "LWWRegister":

@@ -5,6 +5,11 @@ tables keyed by primary key, and per-actor state are all maps whose values
 are themselves lattices.  Merging two maps unions their key sets and merges
 values pointwise, which preserves the semilattice laws whenever the value
 type does.
+
+Construction is validated once: the public constructor type-checks every
+value, while merge paths that only combine already-validated maps go through
+:meth:`MapLattice._from_validated` and skip the re-check, so merging is
+O(entries) dict work rather than O(entries) isinstance calls on top.
 """
 
 from __future__ import annotations
@@ -14,29 +19,59 @@ from typing import Hashable, Iterator, Mapping
 from repro.lattices.base import Lattice
 
 
+def _check_value(key: Hashable, value: object) -> None:
+    if not isinstance(value, Lattice):
+        raise TypeError(
+            f"MapLattice values must be Lattice instances; "
+            f"key {key!r} maps to {value!r}"
+        )
+
+
 class MapLattice(Lattice):
     """A map from hashable keys to lattice values, merged pointwise."""
 
-    __slots__ = ("entries",)
+    __slots__ = ("entries", "_hash")
 
     def __init__(self, entries: Mapping[Hashable, Lattice] | None = None) -> None:
         items = dict(entries) if entries else {}
         for key, value in items.items():
-            if not isinstance(value, Lattice):
-                raise TypeError(
-                    f"MapLattice values must be Lattice instances; "
-                    f"key {key!r} maps to {value!r}"
-                )
+            _check_value(key, value)
         self.entries: dict[Hashable, Lattice] = items
+        self._hash: int | None = None
+
+    @classmethod
+    def _from_validated(cls, entries: dict[Hashable, Lattice]) -> "MapLattice":
+        """Wrap ``entries`` without copying or re-validating.
+
+        Internal fast path for merge results whose values are known to be
+        lattices already.  The dict is adopted, not copied: the caller hands
+        over ownership.
+        """
+        lattice = object.__new__(cls)
+        lattice.entries = entries
+        lattice._hash = None
+        return lattice
 
     def merge(self, other: "MapLattice") -> "MapLattice":
         merged = dict(self.entries)
         for key, value in other.entries.items():
-            if key in merged:
-                merged[key] = merged[key].merge(value)
-            else:
-                merged[key] = value
-        return MapLattice(merged)
+            current = merged.get(key)
+            merged[key] = value if current is None else current.merge(value)
+        return MapLattice._from_validated(merged)
+
+    def merge_into(self, other: "MapLattice") -> "MapLattice":
+        """Merge ``other`` into this map's own dict (see :meth:`Lattice.merge_into`).
+
+        Only the receiver's top-level dict is mutated; colliding values are
+        merged immutably, so leaf lattice objects shared with other holders
+        are never written through.
+        """
+        entries = self.entries
+        for key, value in other.entries.items():
+            current = entries.get(key)
+            entries[key] = value if current is None else current.merge(value)
+        self._hash = None
+        return self
 
     @classmethod
     def bottom(cls) -> "MapLattice":
@@ -46,7 +81,35 @@ class MapLattice(Lattice):
 
     def insert(self, key: Hashable, value: Lattice) -> "MapLattice":
         """Return a new map with ``value`` merged into ``key``'s entry."""
-        return self.merge(MapLattice({key: value}))
+        _check_value(key, value)
+        merged = dict(self.entries)
+        current = merged.get(key)
+        merged[key] = value if current is None else current.merge(value)
+        return MapLattice._from_validated(merged)
+
+    def insert_into(self, key: Hashable, value: Lattice) -> "MapLattice":
+        """In-place :meth:`insert`: merge ``value`` into ``key``'s entry here.
+
+        Same ownership rules as :meth:`merge_into` — the caller must own
+        this map exclusively.  The colliding value (if any) is merged
+        immutably, so the previous value object is left intact for anyone
+        still holding it.
+        """
+        _check_value(key, value)
+        current = self.entries.get(key)
+        self.entries[key] = value if current is None else current.merge(value)
+        self._hash = None
+        return self
+
+    def leq(self, other: "MapLattice") -> bool:
+        if not isinstance(other, MapLattice):
+            return super().leq(other)
+        other_entries = other.entries
+        for key, value in self.entries.items():
+            current = other_entries.get(key)
+            if current is None or not value.leq(current):
+                return False
+        return True
 
     def get(self, key: Hashable, default: Lattice | None = None) -> Lattice | None:
         return self.entries.get(key, default)
@@ -76,7 +139,15 @@ class MapLattice(Lattice):
         return isinstance(other, MapLattice) and self.entries == other.entries
 
     def __hash__(self) -> int:
-        return hash(("MapLattice", frozenset(self.entries.items())))
+        # Cached: computing it walks every entry, and hash consumers (dedup
+        # tables, dict keys) call it repeatedly on the same value.  In-place
+        # mutation via merge_into/insert_into invalidates the cache; mutating
+        # a map after sharing it as a dict key is an ownership violation and
+        # stays undefined, exactly as for any mutable Python object.
+        cached = self._hash
+        if cached is None:
+            cached = self._hash = hash(("MapLattice", frozenset(self.entries.items())))
+        return cached
 
     def __repr__(self) -> str:
         body = ", ".join(f"{key!r}: {value!r}" for key, value in sorted(

@@ -28,6 +28,11 @@ class PairLattice(Lattice):
     def merge(self, other: "PairLattice") -> "PairLattice":
         return PairLattice(self.first.merge(other.first), self.second.merge(other.second))
 
+    def leq(self, other: "PairLattice") -> bool:
+        if not isinstance(other, PairLattice):
+            return super().leq(other)
+        return self.first.leq(other.first) and self.second.leq(other.second)
+
     @classmethod
     def bottom(cls) -> "PairLattice":
         raise TypeError(
@@ -78,6 +83,15 @@ class ProductLattice(Lattice):
             else:
                 merged[name] = value
         return ProductLattice(merged)
+
+    def leq(self, other: "ProductLattice") -> bool:
+        if not isinstance(other, ProductLattice):
+            return super().leq(other)
+        # Missing fields adopt the other side on merge, so self precedes
+        # other iff every field it carries is present and dominated there.
+        theirs = other.fields
+        return all(name in theirs and value.leq(theirs[name])
+                   for name, value in self.fields.items())
 
     @classmethod
     def bottom(cls) -> "ProductLattice":

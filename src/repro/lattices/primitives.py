@@ -30,6 +30,11 @@ class BoolOr(Lattice):
     def merge(self, other: "BoolOr") -> "BoolOr":
         return BoolOr(self.value or other.value)
 
+    def leq(self, other: "BoolOr") -> bool:
+        if not isinstance(other, BoolOr):
+            return super().leq(other)
+        return (not self.value) or other.value
+
     @classmethod
     def bottom(cls) -> "BoolOr":
         return cls(False)
@@ -61,6 +66,11 @@ class BoolAnd(Lattice):
 
     def merge(self, other: "BoolAnd") -> "BoolAnd":
         return BoolAnd(self.value and other.value)
+
+    def leq(self, other: "BoolAnd") -> bool:
+        if not isinstance(other, BoolAnd):
+            return super().leq(other)
+        return (not other.value) or self.value
 
     @classmethod
     def bottom(cls) -> "BoolAnd":
@@ -94,6 +104,11 @@ class MaxInt(Lattice):
     def merge(self, other: "MaxInt") -> "MaxInt":
         return MaxInt(self.value if self.value >= other.value else other.value)
 
+    def leq(self, other: "MaxInt") -> bool:
+        if not isinstance(other, MaxInt):
+            return super().leq(other)
+        return self.value <= other.value
+
     @classmethod
     def bottom(cls) -> "MaxInt":
         return cls(float("-inf"))
@@ -121,6 +136,11 @@ class MinInt(Lattice):
 
     def merge(self, other: "MinInt") -> "MinInt":
         return MinInt(self.value if self.value <= other.value else other.value)
+
+    def leq(self, other: "MinInt") -> bool:
+        if not isinstance(other, MinInt):
+            return super().leq(other)
+        return self.value >= other.value
 
     @classmethod
     def bottom(cls) -> "MinInt":

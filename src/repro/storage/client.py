@@ -12,7 +12,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Hashable, Optional
 
-from repro.cluster.network import Message
+from repro.cluster.network import Message, WIRE_HEADER_BYTES, wire_size
 from repro.cluster.node import Node
 from repro.lattices.base import Lattice
 from repro.lattices.maps import MapLattice
@@ -37,9 +37,14 @@ class KVSClient(Node):
     def put(self, key: Hashable, value: Lattice) -> int:
         """Asynchronously merge ``value`` into ``key``; returns a request id."""
         request_id = next(self._ids)
-        self.session_writes = self.session_writes.insert(key, value)
+        # The session cache is private to this client, so it grows in place;
+        # a colliding value is merged immutably, keeping any previously
+        # returned read results intact.
+        self.session_writes.insert_into(key, value)
         replica = self.kvs.pick_replica(key)
-        self.send(replica.node_id, "put", {"key": key, "value": value, "request_id": request_id})
+        self.send(replica.node_id, "put",
+                  {"key": key, "value": value, "request_id": request_id},
+                  size_bytes=wire_size(1))
         return request_id
 
     def get(self, key: Hashable,
@@ -49,7 +54,8 @@ class KVSClient(Node):
         if callback is not None:
             self.pending_gets[request_id] = callback
         replica = self.kvs.pick_replica(key)
-        self.send(replica.node_id, "get", {"key": key, "request_id": request_id})
+        self.send(replica.node_id, "get", {"key": key, "request_id": request_id},
+                  size_bytes=WIRE_HEADER_BYTES)
         return request_id
 
     # -- replies -------------------------------------------------------------------

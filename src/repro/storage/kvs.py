@@ -12,6 +12,13 @@ Because routing goes through the ring rather than Python's salted builtin
 ``hash``, every process agrees on key placement regardless of
 ``PYTHONHASHSEED``, and :meth:`LatticeKVS.reshard` can grow or shrink the
 shard count while moving only the keys whose ring ownership changed.
+
+Writes are O(delta), not O(store): each replica holds a plain mutable dict
+and merges arriving values entry-wise (in place once it owns the entry — see
+the README's mutation-protocol section for the ownership rules), and gossip
+ships *deltas* — only the entries that changed since the peer's last
+acknowledged round — with a periodic full-store exchange as anti-entropy
+fallback, so dropped gossip or a state-losing recovery still converges.
 """
 
 from __future__ import annotations
@@ -21,24 +28,51 @@ from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Optional
 
 from repro.cluster.metrics import MetricsRegistry
-from repro.cluster.network import Message, Network
+from repro.cluster.network import Message, Network, WIRE_HEADER_BYTES, wire_size
 from repro.cluster.node import Node
 from repro.cluster.simulator import Simulator
-from repro.lattices.base import BOTTOM, Lattice
-from repro.lattices.maps import MapLattice
+from repro.lattices.base import BOTTOM, Lattice, owns_merge_result
 from repro.storage.ring import HashRing, stable_key_bytes
+
+#: Gossip rounds a delta stays outstanding before being retransmitted,
+#: giving its ack time to cross the network.  Retransmissions reuse the
+#: original round number, so an ack always matches no matter how many
+#: resends raced it — the round trip only delays quiescence, never defeats
+#: it.
+RETRANSMIT_AFTER_ROUNDS = 2
+
+#: Outstanding (unacked) gossip rounds a peer may accumulate before the
+#: sender escalates to a full-store sync, which supersedes and clears the
+#: whole backlog.  Bounds per-peer bookkeeping under total ack loss (a
+#: dead or partitioned peer) at one full store every ~cap rounds — still
+#: far below the old snapshot mode's full store every round.
+MAX_OUTSTANDING_ROUNDS = 8
 
 
 class ShardNode(Node):
-    """One replica of one shard: a map of keys to lattice values."""
+    """One replica of one shard: a mutable dict of keys to lattice values.
+
+    ``store`` is a plain dict merged entry-wise in place, so a put costs
+    O(changed entry) instead of the O(store) copy an immutable map would
+    take.  ``_owned`` tracks which stored value objects this replica
+    allocated itself and may therefore mutate via ``merge_into``; any value
+    whose reference escapes (get replies, gossip payloads, ``value_of``)
+    leaves the owned set and is copied on its next local merge, preserving
+    snapshot semantics for in-flight messages and external holders.
+    """
 
     def __init__(self, node_id, simulator, network, domain="default",
                  peers: list[Hashable] | None = None,
-                 gossip_interval: Optional[float] = None) -> None:
+                 gossip_interval: Optional[float] = None,
+                 gossip_mode: str = "delta",
+                 full_sync_every: int = 10) -> None:
         super().__init__(node_id, simulator, network, domain)
-        self.store = MapLattice()
-        self.peers = list(peers or [])
+        if gossip_mode not in ("delta", "snapshot"):
+            raise ValueError(f"gossip_mode must be 'delta' or 'snapshot', got {gossip_mode!r}")
+        self.store: dict[Hashable, Lattice] = {}
         self.gossip_interval = gossip_interval
+        self.gossip_mode = gossip_mode
+        self.full_sync_every = max(1, full_sync_every)
         # Routing-table hook, set by LatticeKVS: key -> current owner
         # replica ids.  After a reshard, traffic that still arrives here
         # for a key this replica no longer owns (in-flight puts,
@@ -47,30 +81,110 @@ class ShardNode(Node):
         self.ownership: Optional[Callable[[Hashable], list[Hashable]]] = None
         self.puts = 0
         self.gets = 0
+        self._owned: set[Hashable] = set()
+        # Delta-gossip bookkeeping, all keyed by peer id:
+        #   _dirty        keys changed since the last gossip sent to the peer
+        #   _unacked      outstanding rounds to the peer: round number ->
+        #                 (sent_index, keys).  Fresh dirty keys ship as a
+        #                 new round; a round older than
+        #                 RETRANSMIT_AFTER_ROUNDS without an ack is resent
+        #                 under its *original* round number (so the ack
+        #                 always matches, whatever the link RTT); and once
+        #                 MAX_OUTSTANDING_ROUNDS pile up, a full-store sync
+        #                 supersedes and clears the backlog.
+        #   _rounds_sent  how many gossip rounds went to the peer, for the
+        #                 periodic full-sync schedule
+        self._dirty: dict[Hashable, set[Hashable]] = {}
+        self._unacked: dict[Hashable, dict[int, tuple[int, frozenset]]] = {}
+        self._rounds_sent: dict[Hashable, int] = {}
+        self._gossip_round = 0
+        self.peers: list[Hashable] = []
+        self.set_peers(list(peers or []))
         self.on("put", self._on_put)
         self.on("get", self._on_get)
         self.on("replicate", self._on_replicate)
         self.on("gossip", self._on_gossip)
+        self.on("gossip_ack", self._on_gossip_ack)
         if gossip_interval:
             self.set_timer(gossip_interval, self._gossip_tick, label=f"kvs-gossip@{node_id}")
 
     def set_peers(self, peers: list[Hashable]) -> None:
         self.peers = [peer for peer in peers if peer != self.node_id]
+        current = set(self.peers)
+        for peer in self.peers:
+            if peer not in self._dirty:
+                # A new peer starts fully unsynced: everything we hold is
+                # dirty until gossip ships it.
+                self._dirty[peer] = set(self.store)
+                self._unacked[peer] = {}
+                self._rounds_sent[peer] = 0
+        for peer in [p for p in self._dirty if p not in current]:
+            del self._dirty[peer]
+            self._unacked.pop(peer, None)
+            self._rounds_sent.pop(peer, None)
 
     # -- local operations ---------------------------------------------------------
 
-    def merge_local(self, key: Hashable, value: Lattice) -> None:
-        self.store = self.store.insert(key, value)
+    def merge_local(self, key: Hashable, value: Lattice) -> bool:
+        """Merge ``value`` into ``key``'s entry in place; True if it grew."""
+        return self._merge_entry(key, value)
+
+    def _merge_entry(self, key: Hashable, value: Lattice,
+                     exclude: Optional[Hashable] = None) -> bool:
+        store = self.store
+        current = store.get(key)
+        if current is None:
+            # The caller (client, network payload) may still hold this
+            # object: not ours to mutate until a copying merge happens.
+            store[key] = value
+            self._owned.discard(key)
+        elif type(value).leq is not Lattice.leq:
+            # The type has an allocation-free leq: detect no-op merges
+            # cheaply, then merge in place once the entry is owned.
+            if value.leq(current):
+                return False
+            if key in self._owned:
+                store[key] = current.merge_into(value)
+            else:
+                merged = current.merge(value)
+                store[key] = merged
+                if owns_merge_result(merged, current, value):
+                    self._owned.add(key)
+        else:
+            # Fallback leq would itself merge, so merge once and compare —
+            # the seed cost — rather than paying for the merge twice.
+            merged = current.merge(value)
+            if merged == current:
+                return False
+            store[key] = merged
+            if owns_merge_result(merged, current, value):
+                self._owned.add(key)
+            else:
+                self._owned.discard(key)
+        if self._dirty:
+            for peer, dirty in self._dirty.items():
+                if peer != exclude:
+                    dirty.add(key)
+        return True
 
     def value_of(self, key: Hashable) -> Optional[Lattice]:
-        return self.store.get(key)
+        value = self.store.get(key)
+        if value is not None:
+            # The reference escapes this replica: relinquish in-place
+            # ownership so a later local merge copies instead of mutating
+            # an object the caller may still be holding.
+            self._owned.discard(key)
+        return value
 
     def drop_keys(self, keys: set[Hashable]) -> None:
         """Administratively remove keys (resharding handoff, not a lattice op)."""
-        if any(key in self.store for key in keys):
-            self.store = MapLattice(
-                {k: v for k, v in self.store.items() if k not in keys}
-            )
+        for key in keys:
+            self.store.pop(key, None)
+            self._owned.discard(key)
+        for dirty in self._dirty.values():
+            dirty.difference_update(keys)
+        # Unacked rounds may still name dropped keys; they are filtered
+        # against the live store at (re)send time.
 
     # -- message handlers ------------------------------------------------------------
 
@@ -93,12 +207,15 @@ class ShardNode(Node):
             # best-effort could acknowledge a write every replica then
             # drops.
             self.network.send(message.source, owners[0], "put", payload,
-                              size_bytes=256)
+                              size_bytes=wire_size(1))
             return
         self.merge_local(key, value)
         for peer in self.peers:
-            self.send(peer, "replicate", {"key": key, "value": value}, size_bytes=256)
-        self.send(message.source, "put_ack", {"request_id": request_id, "replica": self.node_id})
+            self.send(peer, "replicate", {"key": key, "value": value},
+                      size_bytes=wire_size(1))
+        self.send(message.source, "put_ack",
+                  {"request_id": request_id, "replica": self.node_id},
+                  size_bytes=WIRE_HEADER_BYTES)
 
     def _on_replicate(self, message: Message) -> None:
         payload = message.payload
@@ -106,57 +223,142 @@ class ShardNode(Node):
         owners = self._misrouted(key)
         if owners is not None:
             for owner in owners:
-                self.send(owner, "replicate", {"key": key, "value": value}, size_bytes=256)
+                self.send(owner, "replicate", {"key": key, "value": value},
+                          size_bytes=wire_size(1))
         else:
-            self.merge_local(key, value)
+            self._merge_entry(key, value, exclude=message.source)
 
     def _on_get(self, message: Message) -> None:
         payload = message.payload
         key, request_id = payload["key"], payload["request_id"]
         self.gets += 1
+        value = self.value_of(key)
         self.send(
             message.source,
             "get_reply",
-            {"request_id": request_id, "key": key, "value": self.store.get(key),
+            {"request_id": request_id, "key": key, "value": value,
              "replica": self.node_id},
+            size_bytes=wire_size(1) if value is not None else WIRE_HEADER_BYTES,
         )
 
     # -- gossip ------------------------------------------------------------------------
+    #
+    # Wire format (see README "Delta-state gossip"): a gossip message is
+    #   {"round": int, "kind": "delta" | "full", "entries": {key: lattice}}
+    # and is answered by a "gossip_ack" message {"round": int}.  Fresh
+    # dirty keys ship as a new delta round; an unacked round past the
+    # grace period is retransmitted under its original round number with
+    # the keys' current values; every ``full_sync_every``-th round to a
+    # peer — and snapshot mode always — ships the whole store as
+    # anti-entropy, superseding the outstanding backlog.
 
     def _gossip_tick(self) -> None:
         if not self.alive:
             return
-        # Snapshot the store before handing it to the (delayed-delivery)
-        # network: the in-flight message must reflect the state at send
-        # time, not whatever this replica mutates into before delivery.
-        snapshot = MapLattice(self.store.entries)
         for peer in self.peers:
-            self.send(peer, "gossip", snapshot, size_bytes=1024)
+            self._send_gossip(peer)
         if self.gossip_interval:
             self.set_timer(self.gossip_interval, self._gossip_tick,
                            label=f"kvs-gossip@{self.node_id}")
 
+    def _send_gossip(self, peer: Hashable) -> None:
+        dirty = self._dirty.setdefault(peer, set())
+        pending = self._unacked.setdefault(peer, {})
+        sent = self._rounds_sent.get(peer, 0) + 1
+        self._rounds_sent[peer] = sent
+        full = (
+            self.gossip_mode == "snapshot"
+            or sent % self.full_sync_every == 0
+            or len(pending) >= MAX_OUTSTANDING_ROUNDS
+        )
+        if full:
+            # The whole store supersedes the outstanding backlog.
+            pending.clear()
+            dirty.clear()
+            self._ship(peer, pending, sent, dict(self.store), "full")
+            return
+        # Retransmit stale unacked rounds under their original numbers with
+        # the keys' current values, so the eventual ack matches no matter
+        # how slow the link is.  Younger rounds just await their acks.
+        for round_no, (sent_at, keys) in list(pending.items()):
+            if sent - sent_at < RETRANSMIT_AFTER_ROUNDS:
+                continue
+            entries = {key: self.store[key] for key in keys if key in self.store}
+            if not entries:
+                # Every key this round carried was dropped from the store;
+                # nothing is left that needs acknowledging.
+                del pending[round_no]
+                continue
+            self._owned.difference_update(entries)
+            pending[round_no] = (sent, keys)
+            self.send(peer, "gossip",
+                      {"round": round_no, "kind": "delta", "entries": entries},
+                      size_bytes=wire_size(len(entries)))
+        # Fresh changes ship in their own new round.
+        if dirty:
+            entries = {key: self.store[key] for key in dirty if key in self.store}
+            dirty.clear()
+            self._ship(peer, pending, sent, entries, "delta")
+
+    def _ship(self, peer: Hashable, pending: dict, sent: int,
+              entries: dict, kind: str) -> None:
+        if not entries:
+            return
+        self._gossip_round += 1
+        round_no = self._gossip_round
+        # Payload values alias live store entries; give up in-place
+        # ownership so they are copy-on-write from now on and the in-flight
+        # message keeps reflecting state at send time.
+        self._owned.difference_update(entries)
+        pending[round_no] = (sent, frozenset(entries))
+        self.send(peer, "gossip",
+                  {"round": round_no, "kind": kind, "entries": entries},
+                  size_bytes=wire_size(len(entries)))
+
     def _on_gossip(self, message: Message) -> None:
         payload = message.payload
-        if self.ownership is not None:
-            # Stale gossip may carry keys this shard handed off during a
-            # reshard; forward them onward rather than resurrecting a
-            # dropped copy on a shard reads no longer visit.
-            kept = {}
-            for key, value in payload.items():
-                owners = self._misrouted(key)
-                if owners is not None:
-                    for owner in owners:
-                        self.send(owner, "replicate", {"key": key, "value": value},
-                                  size_bytes=256)
-                else:
-                    kept[key] = value
-            if len(kept) != len(payload):
-                payload = MapLattice(kept)
-        self.store = self.store.merge(payload)
+        for key, value in payload["entries"].items():
+            owners = self._misrouted(key)
+            if owners is not None:
+                # Stale gossip may carry keys this shard handed off during a
+                # reshard; forward them onward rather than resurrecting a
+                # dropped copy on a shard reads no longer visit.
+                for owner in owners:
+                    self.send(owner, "replicate", {"key": key, "value": value},
+                              size_bytes=wire_size(1))
+            else:
+                self._merge_entry(key, value, exclude=message.source)
+        self.send(message.source, "gossip_ack", {"round": payload["round"]},
+                  size_bytes=WIRE_HEADER_BYTES)
+
+    def _on_gossip_ack(self, message: Message) -> None:
+        pending = self._unacked.get(message.source)
+        if pending is not None:
+            pending.pop(message.payload["round"], None)
+        # An ack for a superseded round is ignored: its keys were folded
+        # into a later outstanding round, which still awaits its own ack.
+
+    def recover(self, lose_state: bool = False) -> None:
+        """Recover and re-arm the gossip timer that :meth:`Node.crash` cancelled.
+
+        Gossip is the loss backstop of the delta protocol — a recovered
+        replica that never gossips again could diverge permanently once a
+        replicate message to it or from it is dropped.
+        """
+        was_down = not self.alive
+        super().recover(lose_state)
+        if was_down and self.gossip_interval:
+            self.set_timer(self.gossip_interval, self._gossip_tick,
+                           label=f"kvs-gossip@{self.node_id}")
 
     def reset_state(self) -> None:
-        self.store = MapLattice()
+        self.store = {}
+        self._owned.clear()
+        for peer in self._dirty:
+            self._dirty[peer] = set()
+            self._unacked[peer] = {}
+        # _rounds_sent is preserved: the periodic full-sync schedule keeps
+        # running, which is exactly what re-fills a state-losing recovery.
 
 
 @dataclass(frozen=True)
@@ -186,7 +388,9 @@ class LatticeKVS:
                  shard_count: int = 4, replication_factor: int = 1,
                  gossip_interval: Optional[float] = 25.0,
                  metrics: MetricsRegistry | None = None,
-                 vnodes: int = 64) -> None:
+                 vnodes: int = 64,
+                 gossip_mode: str = "delta",
+                 full_sync_every: int = 10) -> None:
         if shard_count < 1 or replication_factor < 1:
             raise ValueError("shard_count and replication_factor must be >= 1")
         self.simulator = simulator
@@ -194,6 +398,8 @@ class LatticeKVS:
         self.shard_count = shard_count
         self.replication_factor = replication_factor
         self.gossip_interval = gossip_interval
+        self.gossip_mode = gossip_mode
+        self.full_sync_every = full_sync_every
         self.metrics = metrics or MetricsRegistry()
         self.ring = HashRing(vnodes=vnodes)
         self.shards: list[list[ShardNode]] = []
@@ -217,7 +423,9 @@ class LatticeKVS:
             replicas.append(
                 ShardNode(node_id, self.simulator, self.network,
                           domain=f"az-{replica_index}",
-                          gossip_interval=self.gossip_interval)
+                          gossip_interval=self.gossip_interval,
+                          gossip_mode=self.gossip_mode,
+                          full_sync_every=self.full_sync_every)
             )
         replica_ids = [replica.node_id for replica in replicas]
         for replica in replicas:
@@ -267,7 +475,7 @@ class LatticeKVS:
         self.metrics.increment("kvs.puts")
         for peer_id in replica.peers:
             self.network.send(replica.node_id, peer_id, "replicate",
-                              {"key": key, "value": value}, size_bytes=256)
+                              {"key": key, "value": value}, size_bytes=wire_size(1))
 
     def get(self, key: Hashable) -> Optional[Lattice]:
         """Read ``key`` from one (possibly stale) replica."""
@@ -360,7 +568,7 @@ class LatticeKVS:
                         continue
                     self.network.send(source.node_id, target_replica.node_id,
                                       "replicate", {"key": key, "value": merged},
-                                      size_bytes=512)
+                                      size_bytes=wire_size(1))
             if moved_keys:
                 for replica in replicas:
                     replica.drop_keys(moved_keys)

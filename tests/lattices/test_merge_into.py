@@ -1,0 +1,223 @@
+"""Property tests for the in-place mutation protocol (``merge_into``).
+
+For every lattice type the in-place merge must be *observationally
+equivalent* to the immutable merge: same result value, same semilattice laws
+(associativity, commutativity, idempotence), and no mutation of the
+argument.  ``join_all`` and the fast ``leq`` overrides ride on the same
+protocol, so their equivalences are checked here too.
+"""
+
+import pytest
+
+from repro.lattices import (
+    BOTTOM,
+    BoolAnd,
+    BoolOr,
+    CausalValue,
+    DominatingPair,
+    GCounter,
+    LWWRegister,
+    MapLattice,
+    MaxInt,
+    MinInt,
+    PNCounter,
+    PairLattice,
+    ProductLattice,
+    SetUnion,
+    TwoPhaseSet,
+    VectorClock,
+    join_all,
+)
+
+# Three representative points per lattice type, deliberately including
+# overlapping / concurrent / ordered combinations.
+SAMPLES = {
+    "BoolOr": (BoolOr(False), BoolOr(True), BoolOr(False)),
+    "BoolAnd": (BoolAnd(True), BoolAnd(False), BoolAnd(True)),
+    "MaxInt": (MaxInt(3), MaxInt(7), MaxInt(5)),
+    "MinInt": (MinInt(3), MinInt(7), MinInt(5)),
+    "SetUnion": (SetUnion({1, 2}), SetUnion({2, 3}), SetUnion({4})),
+    "TwoPhaseSet": (
+        TwoPhaseSet({1}, {2}),
+        TwoPhaseSet({2, 3}, ()),
+        TwoPhaseSet((), {1}),
+    ),
+    "GCounter": (
+        GCounter({"a": 2}),
+        GCounter({"a": 1, "b": 4}),
+        GCounter({"c": 1}),
+    ),
+    "PNCounter": (
+        PNCounter(GCounter({"a": 2}), GCounter({"a": 1})),
+        PNCounter(GCounter({"b": 3}), GCounter()),
+        PNCounter(GCounter({"a": 1}), GCounter({"b": 2})),
+    ),
+    "VectorClock": (
+        VectorClock({"n1": 1}),
+        VectorClock({"n1": 2, "n2": 1}),
+        VectorClock({"n3": 4}),
+    ),
+    "CausalValue": (
+        CausalValue(VectorClock({"n1": 1}), SetUnion({"x"})),
+        CausalValue(VectorClock({"n1": 1, "n2": 1}), SetUnion({"y"})),
+        CausalValue(VectorClock({"n2": 2}), SetUnion({"z"})),
+    ),
+    "LWWRegister": (
+        LWWRegister(1.0, "old"),
+        LWWRegister(2.0, "new"),
+        LWWRegister(2.0, "tie", tiebreak="b"),
+    ),
+    "MapLattice": (
+        MapLattice({"x": SetUnion({1})}),
+        MapLattice({"x": SetUnion({2}), "y": MaxInt(3)}),
+        MapLattice({"z": GCounter({"a": 1})}),
+    ),
+    "PairLattice": (
+        PairLattice(MaxInt(1), SetUnion({1})),
+        PairLattice(MaxInt(2), SetUnion({2})),
+        PairLattice(MaxInt(0), SetUnion({3})),
+    ),
+    "ProductLattice": (
+        ProductLattice({"count": MaxInt(1)}),
+        ProductLattice({"count": MaxInt(2), "seen": SetUnion({"a"})}),
+        ProductLattice({"seen": SetUnion({"b"})}),
+    ),
+    "DominatingPair": (
+        DominatingPair(VectorClock({"n1": 1}), SetUnion({"x"})),
+        DominatingPair(VectorClock({"n1": 2}), SetUnion({"y"})),
+        DominatingPair(VectorClock({"n2": 1}), SetUnion({"z"})),
+    ),
+}
+
+
+def private(value):
+    """A freshly allocated copy safe to mutate: idempotence gives x.merge(x) == x."""
+    return value.merge(value)
+
+
+@pytest.fixture(params=sorted(SAMPLES), ids=sorted(SAMPLES))
+def triple(request):
+    return SAMPLES[request.param]
+
+
+class TestMergeIntoEquivalence:
+    def test_matches_immutable_merge(self, triple):
+        for a in triple:
+            for b in triple:
+                assert private(a).merge_into(b) == a.merge(b)
+
+    def test_argument_is_never_mutated(self, triple):
+        for a in triple:
+            for b in triple:
+                b_before = private(b)
+                private(a).merge_into(b)
+                assert b == b_before
+
+    def test_commutativity_survives_mutation(self, triple):
+        for a in triple:
+            for b in triple:
+                assert private(a).merge_into(b) == private(b).merge_into(a)
+
+    def test_associativity_survives_mutation(self, triple):
+        a, b, c = triple
+        left = private(private(a).merge_into(b)).merge_into(c)
+        right = private(a).merge_into(private(b).merge_into(c))
+        assert left == right == a.merge(b).merge(c)
+
+    def test_idempotence_survives_mutation(self, triple):
+        for a in triple:
+            assert private(a).merge_into(a) == a
+
+    def test_repeated_in_place_merges_accumulate(self, triple):
+        a, b, c = triple
+        acc = private(a)
+        acc = acc.merge_into(b)
+        acc = acc.merge_into(c)
+        acc = acc.merge_into(b)
+        assert acc == a.merge(b).merge(c)
+
+    def test_fast_leq_agrees_with_merge_definition(self, triple):
+        for a in triple:
+            for b in triple:
+                assert a.leq(b) == (a.merge(b) == b)
+
+
+class TestJoinAll:
+    def test_join_all_equals_fold_of_immutable_merges(self, triple):
+        a, b, c = triple
+        assert join_all([a, b, c]) == a.merge(b).merge(c)
+
+    def test_join_all_does_not_mutate_inputs(self, triple):
+        a, b, c = triple
+        snapshots = [private(v) for v in (a, b, c)]
+        join_all([a, b, c])
+        assert [a, b, c] == snapshots
+
+    def test_join_all_single_value_and_empty(self, triple):
+        a, _, _ = triple
+        assert join_all([a]) == a
+        assert join_all([]) == BOTTOM
+
+    def test_join_all_with_start_does_not_mutate_start(self, triple):
+        a, b, _ = triple
+        start = private(a)
+        result = join_all([b], start=start)
+        assert start == a
+        assert result == a.merge(b)
+
+
+class TestMapLatticeHashCache:
+    def test_hash_tracks_in_place_mutation(self):
+        grown = MapLattice({"x": SetUnion({1})})
+        hash_before = hash(grown)
+        grown = grown.merge_into(MapLattice({"y": SetUnion({2})}))
+        fresh = MapLattice({"x": SetUnion({1}), "y": SetUnion({2})})
+        assert grown == fresh
+        assert hash(grown) == hash(fresh)
+        assert hash(grown) != hash_before
+
+    def test_insert_into_invalidates_cache_and_matches_insert(self):
+        base = MapLattice({"x": SetUnion({1})})
+        immutable = base.insert("x", SetUnion({2}))
+        hash(base)
+        in_place = base.insert_into("x", SetUnion({2}))
+        assert in_place == immutable
+        assert hash(in_place) == hash(immutable)
+
+    def test_equal_maps_hash_equal(self):
+        a = MapLattice({"x": MaxInt(1), "y": SetUnion({1})})
+        b = MapLattice({"y": SetUnion({1}), "x": MaxInt(1)})
+        assert a == b and hash(a) == hash(b)
+
+    def test_set_union_hash_tracks_mutation(self):
+        grown = SetUnion({1})
+        hash_before = hash(grown)
+        grown = grown.merge_into(SetUnion({2}))
+        assert hash(grown) == hash(SetUnion({1, 2}))
+        assert hash(grown) != hash_before
+
+    def test_insert_into_rejects_non_lattice_values(self):
+        with pytest.raises(TypeError):
+            MapLattice().insert_into("x", 42)
+
+
+class TestOwnershipBoundaries:
+    def test_merge_into_shares_leaf_values_but_never_writes_through_them(self):
+        """MapLattice.merge_into may alias the other map's leaves, but later
+        in-place merges replace slots immutably, so the shared leaf object
+        never changes under the original holder."""
+        theirs_leaf = SetUnion({1})
+        theirs = MapLattice({"k": theirs_leaf})
+        mine = MapLattice().merge_into(theirs)
+        mine.merge_into(MapLattice({"k": SetUnion({2})}))
+        assert theirs_leaf == SetUnion({1})
+        assert mine["k"] == SetUnion({1, 2})
+
+    def test_pn_counter_merge_allocates_private_components(self):
+        """After an immutable merge the PNCounter subtree is private, which
+        is what makes the later in-place merge of components safe."""
+        shared = PNCounter(GCounter({"a": 1}), GCounter())
+        merged = shared.merge(PNCounter(GCounter({"b": 1}), GCounter()))
+        merged.merge_into(PNCounter(GCounter({"a": 5}), GCounter({"a": 2})))
+        assert shared.positive == GCounter({"a": 1})
+        assert shared.negative == GCounter()

@@ -1,0 +1,304 @@
+"""Delta-state gossip: equivalence with snapshot gossip, and its fallbacks.
+
+The delta protocol must be an *optimization only*: replicas reach exactly
+the fixpoint snapshot gossip reaches — under concurrent conflicting writes,
+across a live reshard, under heavy message loss (retransmission), and after
+a state-losing recovery (periodic full-sync anti-entropy) — while shipping
+orders of magnitude fewer simulated bytes per round once converged.
+"""
+
+import pytest
+
+from repro.cluster import Network, NetworkConfig, Simulator, wire_size
+from repro.lattices import GCounter, SetUnion
+from repro.storage import LatticeKVS
+
+
+def build_kvs(mode, shards=2, replication=3, seed=7, drop_rate=0.0,
+              full_sync_every=10):
+    sim = Simulator(seed=seed)
+    net = Network(sim, NetworkConfig(base_delay=1.0, jitter=0.5, drop_rate=drop_rate))
+    kvs = LatticeKVS(sim, net, shard_count=shards, replication_factor=replication,
+                     gossip_interval=20.0, gossip_mode=mode,
+                     full_sync_every=full_sync_every)
+    return sim, net, kvs
+
+
+def conflicting_workload(kvs, keys=12, writers=3):
+    """Concurrent conflicting writes applied directly at different replicas."""
+    for index in range(keys * writers):
+        for key, value in (
+            (f"cart-{index % keys}", SetUnion({f"item-{index}"})),
+            (f"count-{index % keys}",
+             GCounter().increment(f"w-{index % writers}", 1)),
+        ):
+            replicas = kvs.replicas_for(key)
+            replicas[index % len(replicas)].merge_local(key, value)
+
+
+def merged_view(kvs, keys=12):
+    return {key: kvs.get_merged(key)
+            for i in range(keys)
+            for key in (f"cart-{i}", f"count-{i}")}
+
+
+def assert_replicas_converged(kvs):
+    for shard in kvs.shards:
+        for key in {k for replica in shard for k in replica.store}:
+            values = [replica.value_of(key) for replica in shard]
+            assert all(value == values[0] for value in values), (
+                f"replicas diverge on {key!r}: {values}"
+            )
+
+
+class TestDeltaSnapshotEquivalence:
+    def test_same_fixpoint_as_snapshot_gossip(self):
+        views = {}
+        for mode in ("delta", "snapshot"):
+            sim, net, kvs = build_kvs(mode)
+            conflicting_workload(kvs)
+            kvs.settle(600.0)
+            assert_replicas_converged(kvs)
+            views[mode] = merged_view(kvs)
+        assert views["delta"] == views["snapshot"]
+
+    def test_same_fixpoint_across_live_reshard(self):
+        views = {}
+        for mode in ("delta", "snapshot"):
+            sim, net, kvs = build_kvs(mode, shards=3, replication=2)
+            for i in range(120):
+                kvs.put(f"key-{i}", SetUnion({i}))
+            conflicting_workload(kvs)
+            # Reshard while puts, replication and dirty gossip are in flight.
+            kvs.reshard(5)
+            for i in range(120, 150):
+                kvs.put(f"key-{i}", SetUnion({i}))
+            kvs.settle(800.0)
+            assert_replicas_converged(kvs)
+            views[mode] = {
+                **merged_view(kvs),
+                **{f"key-{i}": kvs.get_merged(f"key-{i}") for i in range(150)},
+            }
+        assert views["delta"] == views["snapshot"]
+        assert all(value is not None for value in views["delta"].values())
+
+    def test_no_resurrection_after_reshard_with_dirty_deltas_in_flight(self):
+        sim, net, kvs = build_kvs("delta", shards=2, replication=2)
+        for i in range(60):
+            kvs.put(f"key-{i}", SetUnion({i}))
+        # Dirty keys are now pending; fire the delta gossip explicitly so the
+        # payloads are in flight, then move the keys away.
+        for shard in kvs.shards:
+            for replica in shard:
+                replica._gossip_tick()
+        kvs.reshard(6)
+        kvs.settle(600.0)
+        for shard_index, shard in enumerate(kvs.shards):
+            for replica in shard:
+                for key in replica.store:
+                    assert kvs.shard_for(key) == shard_index, (
+                        f"{key!r} resurrected on shard {shard_index}"
+                    )
+        for i in range(60):
+            assert kvs.get_merged(f"key-{i}") == SetUnion({i})
+
+
+class TestDeltaGossipRobustness:
+    def test_retransmits_unacked_deltas_until_converged(self):
+        """With half of all messages dropped, unacked delta rounds are
+        re-sent (and the full-sync fallback backstops them) until every
+        replica converges."""
+        sim, net, kvs = build_kvs("delta", shards=1, replication=3, seed=23,
+                                  drop_rate=0.5)
+        replicas = kvs.shards[0]
+        for index in range(30):
+            replicas[index % 3].merge_local(f"k-{index % 10}",
+                                            SetUnion({f"v-{index}"}))
+        kvs.settle(2000.0)
+        assert_replicas_converged(kvs)
+        for index in range(10):
+            assert len(kvs.get_merged(f"k-{index}").elements) == 3
+
+    def test_full_sync_heals_state_losing_recovery(self):
+        """A replica that recovers with lost state is repopulated by the
+        periodic full-store anti-entropy rounds, not by deltas (its peers'
+        dirty sets are empty once converged)."""
+        sim, net, kvs = build_kvs("delta", shards=1, replication=2,
+                                  full_sync_every=5)
+        replica_a, replica_b = kvs.shards[0]
+        for index in range(40):
+            kvs.put(f"k-{index}", SetUnion({index}))
+        kvs.settle(400.0)
+        replica_b.crash()
+        replica_b.recover(lose_state=True)
+        assert len(replica_b.store) == 0
+        # No new writes: only full syncs can carry the old keys back.
+        kvs.settle(400.0)
+        assert len(replica_b.store) == 40
+        assert_replicas_converged(kvs)
+
+    def test_recovered_replica_resumes_gossiping(self):
+        """Crash cancels the gossip timer; recover must re-arm it, or a
+        recovered replica's own writes can never reach its peers once an
+        eager replicate is lost (gossip is the loss backstop)."""
+        sim, net, kvs = build_kvs("delta", shards=1, replication=2)
+        replica_a, replica_b = kvs.shards[0]
+        replica_b.crash()
+        replica_b.recover()
+        # A write applied only at the recovered replica: no eager
+        # replication happens for merge_local, so only B's own gossip can
+        # carry it to A.
+        replica_b.merge_local("k", SetUnion({"from-b"}))
+        kvs.settle(200.0)
+        assert replica_a.value_of("k") == SetUnion({"from-b"})
+
+    def test_lost_ack_does_not_pin_retransmissions(self):
+        """A retransmission supersedes the unacked round it carries, so one
+        successful ack quiesces the peer even if earlier acks were lost —
+        a pinned round must not reship its keys forever.  A pending round
+        younger than the grace period is not resent at all, so an ack whose
+        round trip exceeds one gossip interval still lands."""
+        from repro.cluster import Message
+
+        sim, net, kvs = build_kvs("delta", shards=1, replication=2,
+                                  full_sync_every=1000)
+        replica_a, replica_b = kvs.shards[0]
+        replica_a.merge_local("k", SetUnion({1}))
+        replica_a._send_gossip(replica_b.node_id)  # round 1: ack will be "lost"
+        before = net.bytes_sent
+        replica_a._send_gossip(replica_b.node_id)  # within grace: no resend
+        assert net.bytes_sent == before
+        replica_a._send_gossip(replica_b.node_id)  # stale now: supersedes
+        assert net.bytes_sent > before
+        (round_no, (_, keys)), = replica_a._unacked[replica_b.node_id].items()
+        assert keys == frozenset({"k"})
+        # Only the retransmission's ack arrives.
+        replica_a._on_gossip_ack(Message(
+            source=replica_b.node_id, destination=replica_a.node_id,
+            mailbox="gossip_ack", payload={"round": round_no},
+            sent_at=sim.now, message_id=0))
+        assert replica_a._unacked[replica_b.node_id] == {}
+        before = net.bytes_sent
+        replica_a._send_gossip(replica_b.node_id)
+        assert net.bytes_sent == before  # nothing pending, nothing dirty
+
+    def test_high_rtt_gossip_quiesces_after_convergence(self):
+        """When the ack round trip exceeds the gossip interval, the grace
+        period prevents the perpetual renumber-and-retransmit loop: once
+        writes stop and acks land, rounds ship nothing."""
+        sim = Simulator(seed=19)
+        net = Network(sim, NetworkConfig(base_delay=15.0, jitter=1.0))  # RTT ~30
+        kvs = LatticeKVS(sim, net, shard_count=1, replication_factor=2,
+                         gossip_interval=25.0, gossip_mode="delta",
+                         full_sync_every=10 ** 6)
+        for index in range(200):
+            kvs.put(f"k-{index}", SetUnion({index}))
+        kvs.settle(1000.0)
+        assert_replicas_converged(kvs)
+        before = net.bytes_sent
+        kvs.settle(2000.0)
+        assert net.bytes_sent == before, (
+            f"converged high-RTT cluster still shipped {net.bytes_sent - before} bytes"
+        )
+
+    def test_extreme_rtt_still_quiesces_and_bounds_backlog(self):
+        """Even when the ack round trip spans several gossip intervals,
+        retransmissions reuse the original round number, so acks eventually
+        match and the backlog drains instead of growing forever."""
+        sim = Simulator(seed=37)
+        net = Network(sim, NetworkConfig(base_delay=60.0, jitter=2.0))  # RTT ~120
+        kvs = LatticeKVS(sim, net, shard_count=1, replication_factor=2,
+                         gossip_interval=25.0, gossip_mode="delta",
+                         full_sync_every=10 ** 6)
+        for index in range(100):
+            kvs.put(f"k-{index}", SetUnion({index}))
+        kvs.settle(2000.0)
+        assert_replicas_converged(kvs)
+        for replica in kvs.shards[0]:
+            assert all(not pending for pending in replica._unacked.values()), (
+                f"backlog never drained on {replica.node_id}"
+            )
+        before = net.bytes_sent
+        kvs.settle(1000.0)
+        assert net.bytes_sent == before
+
+    def test_backlog_capped_when_peer_never_acks(self):
+        """A dead peer must not grow the sender's bookkeeping without bound:
+        at the cap, a full sync supersedes and clears the backlog."""
+        from repro.storage.kvs import MAX_OUTSTANDING_ROUNDS
+
+        sim, net, kvs = build_kvs("delta", shards=1, replication=2,
+                                  full_sync_every=10 ** 6)
+        replica_a, replica_b = kvs.shards[0]
+        replica_b.crash()  # never acks again
+        for index in range(50):
+            replica_a.merge_local(f"k-{index}", SetUnion({index}))
+            replica_a._gossip_tick()
+            backlog = replica_a._unacked[replica_b.node_id]
+            assert len(backlog) <= MAX_OUTSTANDING_ROUNDS
+
+    def test_high_rtt_sustained_writes_ship_o_delta_not_o_store(self):
+        """Under continuous writes on a high-RTT link, young unacked rounds
+        must not be folded into every fresh delta — otherwise payloads grow
+        cumulatively toward full-store size while acks chase superseded
+        round numbers."""
+        sim = Simulator(seed=29)
+        net = Network(sim, NetworkConfig(base_delay=15.0, jitter=1.0))  # RTT ~30
+        kvs = LatticeKVS(sim, net, shard_count=1, replication_factor=2,
+                         gossip_interval=25.0, gossip_mode="delta",
+                         full_sync_every=10 ** 6)
+        for index in range(500):
+            kvs.put(f"k-{index}", SetUnion({index}))
+        kvs.settle(1000.0)
+        before = net.bytes_sent
+        # ~1 fresh write per gossip round for 20 rounds.
+        for index in range(20):
+            kvs.put(f"fresh-{index}", SetUnion({index}))
+            kvs.settle(25.0)
+        churn = net.bytes_sent - before
+        # O(delta): each write costs one replicate plus a handful of delta
+        # gossip entries/acks.  A single full-store snapshot round would
+        # already exceed this; 20 rounds of snapshots would be ~40x it.
+        assert churn < wire_size(500), f"{churn} bytes for 20 single-key writes"
+        assert_replicas_converged(kvs)
+
+    def test_gossip_quiesces_to_deltas_after_convergence(self):
+        """Once converged, non-full delta rounds ship nothing; only the
+        periodic anti-entropy round still carries the store."""
+        sim, net, kvs = build_kvs("delta", shards=1, replication=2,
+                                  full_sync_every=1000)
+        replica_a, replica_b = kvs.shards[0]
+        for index in range(50):
+            kvs.put(f"k-{index}", SetUnion({index}))
+        kvs.settle(600.0)
+        before = net.bytes_sent
+        replica_a._gossip_tick()
+        replica_b._gossip_tick()
+        assert net.bytes_sent == before  # nothing dirty, nothing sent
+
+        replica_a.merge_local("k-3", SetUnion({"fresh"}))
+        before = net.bytes_sent
+        replica_a._gossip_tick()
+        assert net.bytes_sent - before == wire_size(1)
+
+
+class TestDeltaGossipBytes:
+    @pytest.mark.parametrize("store_size", [200, 1000])
+    def test_round_bytes_scale_with_delta_not_store(self, store_size):
+        writes = 10
+        round_bytes = {}
+        for mode in ("delta", "snapshot"):
+            sim, net, kvs = build_kvs(mode, shards=1, replication=2, seed=31,
+                                      full_sync_every=10 ** 6)
+            replica_a, replica_b = kvs.shards[0]
+            for index in range(store_size):
+                replica_a.merge_local(f"k-{index}", SetUnion({index}))
+            kvs.settle(600.0)
+            for index in range(writes):
+                replica_a.merge_local(f"k-{index}", SetUnion({f"fresh-{index}"}))
+            before = net.bytes_sent
+            replica_a._gossip_tick()
+            round_bytes[mode] = net.bytes_sent - before
+        assert round_bytes["snapshot"] >= wire_size(store_size)
+        assert round_bytes["delta"] <= wire_size(writes)
+        assert round_bytes["delta"] < round_bytes["snapshot"] / 10

@@ -87,16 +87,21 @@ class TestLatticeKVS:
 
     def test_gossip_sends_snapshot_not_live_store(self):
         """Regression: an in-flight gossip message must not observe writes
-        made after it was sent."""
+        made after it was sent.  The gossip payload aliases the stored value
+        object, so the later local merge must copy-on-write rather than
+        mutate it in place."""
         sim, net, kvs = build_kvs(shards=1, replication=2, seed=11)
         replica_a, replica_b = kvs.shards[0]
+        # Two merges so the stored value is replica-owned (in-place eligible).
         replica_a.merge_local("k", SetUnion({"before"}))
+        replica_a.merge_local("k", SetUnion({"before", "also-before"}))
         # Fire a gossip round explicitly; the message is now in flight.
         replica_a._gossip_tick()
-        # Mutate the sender's live store object in place before delivery.
-        replica_a.store.entries["k"] = SetUnion({"before", "leaked"})
+        # Grow the sender's entry after the send but before delivery.
+        replica_a.merge_local("k", SetUnion({"leaked"}))
+        assert replica_a.value_of("k") == SetUnion({"before", "also-before", "leaked"})
         sim.run(until=sim.now + 10.0)
-        assert replica_b.value_of("k") == SetUnion({"before"})
+        assert replica_b.value_of("k") == SetUnion({"before", "also-before"})
 
 
 class TestResharding:
@@ -189,10 +194,10 @@ class TestResharding:
         on the old shard; the old shard forwards them to the new owners."""
         sim, net, kvs = build_kvs(shards=2, replication=2, seed=13)
         self.populate(kvs, 60)
-        old_stores = {id(r): None for shard in kvs.shards for r in shard}
-        # Fire gossip explicitly so full-store messages are in flight...
+        # Force full-store payloads so every key is in flight...
         for shard in kvs.shards:
             for replica in shard:
+                replica.gossip_mode = "snapshot"
                 replica._gossip_tick()
         # ...then move keys away and deliver the stale gossip.
         kvs.reshard(6)
