@@ -1,0 +1,97 @@
+"""Jepsen-in-a-simulator: deterministic chaos testing for the whole stack.
+
+The paper's claim is that lattice-based, CALM-guided programs stay correct
+*without coordination* even under failure.  This package turns that claim
+into a systematic, reproducible test harness built on the deterministic
+cluster simulator:
+
+* :mod:`repro.chaos.nemesis` — composable, RNG-free fault primitives
+  (partition storms, lose-state crashes, domain outages, latency/drop
+  spikes, reshard-under-fire) scheduled against a :class:`ChaosEnv`;
+* :mod:`repro.chaos.workloads` — history-recording generators driving the
+  KVS client, the shopping-cart app, causal broadcast and Paxos;
+* :mod:`repro.chaos.checkers` — convergence, session guarantees, causal
+  and Paxos safety, and the CALM coordination-freeness cross-check;
+* :mod:`repro.chaos.scenario` — one seeded scenario end to end;
+* :mod:`repro.chaos.sweep` — multi-seed sweeps, exact replay, and greedy
+  shrinking of failing schedules to minimal copy-pasteable repros.
+
+Because the simulator is deterministic for a given seed, every failure the
+sweep finds replays exactly — ``run_scenario(seed, schedule)`` is the whole
+bug report.
+"""
+
+from repro.chaos.checkers import (
+    CheckResult,
+    calm_latency_bound,
+    canonicalize,
+    check_calm_coordination_free,
+    check_cart_integrity,
+    check_causal,
+    check_convergence,
+    check_paxos_safety,
+    check_session_guarantees,
+    state_digest,
+    summarize,
+)
+from repro.chaos.history import FAIL, INVOKED, OK, History, Op
+from repro.chaos.nemesis import (
+    ChaosEnv,
+    CrashReplica,
+    DomainOutage,
+    DropSpike,
+    Fault,
+    LatencySpike,
+    Nemesis,
+    PartitionStorm,
+    ReshardUnderFire,
+    schedule_from_dicts,
+    schedule_to_dicts,
+)
+from repro.chaos.scenario import (
+    ALL_WORKLOADS,
+    ChaosConfig,
+    ScenarioResult,
+    build_env,
+    fast_config,
+    run_scenario,
+    thorough_config,
+)
+from repro.chaos.sweep import (
+    SeedFailure,
+    SweepReport,
+    replay,
+    repro_snippet,
+    shrink,
+    standard_schedule,
+    sweep,
+)
+from repro.chaos.workloads import (
+    CartWorkload,
+    CausalWorkload,
+    KVSWorkload,
+    PaxosWorkload,
+    RecordingKVSClient,
+)
+
+__all__ = [
+    # histories
+    "History", "Op", "INVOKED", "OK", "FAIL",
+    # nemesis
+    "ChaosEnv", "Nemesis", "Fault", "PartitionStorm", "CrashReplica",
+    "DomainOutage", "LatencySpike", "DropSpike", "ReshardUnderFire",
+    "schedule_to_dicts", "schedule_from_dicts",
+    # workloads
+    "KVSWorkload", "CartWorkload", "CausalWorkload", "PaxosWorkload",
+    "RecordingKVSClient",
+    # checkers
+    "CheckResult", "check_convergence", "check_session_guarantees",
+    "check_causal", "check_paxos_safety", "check_calm_coordination_free",
+    "check_cart_integrity", "calm_latency_bound", "canonicalize",
+    "state_digest", "summarize",
+    # scenarios & sweeps
+    "ChaosConfig", "ScenarioResult", "run_scenario", "build_env",
+    "fast_config", "thorough_config", "ALL_WORKLOADS",
+    "sweep", "replay", "shrink", "standard_schedule", "repro_snippet",
+    "SweepReport", "SeedFailure",
+]

@@ -1,0 +1,5 @@
+"""CLI entry point: ``PYTHONPATH=src python -m repro.chaos --seeds 25``."""
+
+from repro.chaos.sweep import _main
+
+raise SystemExit(_main())

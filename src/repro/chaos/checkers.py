@@ -1,0 +1,360 @@
+"""History and state checkers: the judgement half of the chaos harness.
+
+Each checker returns a :class:`CheckResult` with human-readable failure
+strings instead of raising, so a scenario can run every checker and report
+all violations at once (and the sweep can aggregate them across seeds).
+
+The four checker families the roadmap's regression net is built from:
+
+* **Convergence** — after heal + quiescence every replica of every shard
+  holds identical state and no key sits on a shard the ring no longer
+  routes to (no resurrection after a reshard).
+* **Session guarantees** — per client: read-your-writes (a read includes
+  every write the same session issued earlier) and monotonic reads (later
+  reads never observe less than earlier ones, in lattice order).
+* **Causal safety** — per receiver: FIFO per origin and happens-before
+  delivery order; plus read-your-writes for a node's own broadcasts.
+* **Paxos single-decree safety** — no two replicas decide different values
+  for the same slot, and applied logs are pairwise prefix-consistent.
+* **CALM coordination-freeness** — the static cross-check (monotone cart
+  handlers are compiled coordination-free) and the dynamic one (monotone
+  ops that completed did so within a message-delay bound — they never
+  waited out a partition, a quorum or a heal).
+
+Durability nuance: an acked KVS write is pinned to the replica that acked
+it (the ack payload names it).  If the nemesis later wiped that replica's
+volatile state (``lose_state=True``) before the delta could propagate, the
+write may legitimately vanish — those ops are exempted, Jepsen-style,
+rather than reported as false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Hashable, Iterable, Optional
+
+from repro.chaos.history import History, Op
+from repro.chaos.nemesis import ChaosEnv
+from repro.consistency.calm import CoordinationMechanism, decide_coordination
+from repro.lattices import VectorClock
+from repro.lattices.base import Lattice
+
+
+@dataclass
+class CheckResult:
+    """One checker's verdict."""
+
+    name: str
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else f"{len(self.failures)} violations"
+        return f"CheckResult({self.name}: {status})"
+
+
+#: Actions the CALM checker treats as monotone (coordination-free by CALM).
+MONOTONE_ACTIONS = frozenset({"put", "get", "add", "remove", "seal", "bcast"})
+
+
+# -- canonical state digests (hashseed-independent) -------------------------------
+
+
+def canonicalize(value) -> str:
+    """A ``PYTHONHASHSEED``-independent canonical repr of a lattice value.
+
+    Plain ``repr`` of set-backed lattices leaks salted iteration order;
+    sorting every unordered constituent makes digests comparable across
+    processes, which the cross-hashseed determinism tests rely on.
+    """
+    if value is None:
+        return "None"
+    added = getattr(value, "added", None)
+    removed = getattr(value, "removed", None)
+    if added is not None and removed is not None:
+        return (f"2P(added={sorted(map(repr, added))}, "
+                f"removed={sorted(map(repr, removed))})")
+    elements = getattr(value, "elements", None)
+    if elements is not None and isinstance(elements, frozenset):
+        return f"Set({sorted(map(repr, elements))})"
+    items = getattr(value, "items", None)
+    if callable(items):
+        inner = sorted((repr(k), canonicalize(v)) for k, v in items())
+        return f"Map({inner})"
+    counts = getattr(value, "counts", None)
+    if counts is not None:
+        return f"Counter({sorted((repr(k), v) for k, v in counts.items())})"
+    return repr(value)
+
+
+def state_digest(env: ChaosEnv) -> str:
+    """Canonical digest of every replica's store, sorted shard by shard."""
+    lines = []
+    for shard_index, shard in enumerate(env.kvs.shards):
+        for replica in sorted(shard, key=lambda r: str(r.node_id)):
+            entries = sorted((repr(key), canonicalize(value))
+                             for key, value in replica.store.items())
+            lines.append(f"shard {shard_index} {replica.node_id}: {entries}")
+    return "\n".join(lines)
+
+
+# -- convergence ------------------------------------------------------------------
+
+
+def check_convergence(env: ChaosEnv) -> CheckResult:
+    """All replicas of each shard agree, and no key is misplaced."""
+    result = CheckResult("convergence")
+    kvs = env.kvs
+    for shard_index, shard in enumerate(kvs.shards):
+        keys = sorted({key for replica in shard for key in replica.store}, key=repr)
+        for key in keys:
+            if kvs.shard_for(key) != shard_index:
+                result.failures.append(
+                    f"key {key!r} resurrected on shard {shard_index}, "
+                    f"ring routes it to shard {kvs.shard_for(key)}")
+            values = [replica.store.get(key) for replica in shard]
+            first = values[0]
+            if any(value is None or value != first for value in values):
+                rendered = [canonicalize(value) for value in values]
+                result.failures.append(
+                    f"shard {shard_index} diverges on {key!r}: {rendered}")
+    return result
+
+
+# -- session guarantees -----------------------------------------------------------
+
+
+def check_session_guarantees(history: History) -> CheckResult:
+    """Read-your-writes and monotonic reads, per client, from the history.
+
+    Read-your-writes is judged in *invocation* order (the session's write
+    cache is populated when the put is issued, so any later-invoked read
+    must include it).  Monotonic reads are judged in *completion* order:
+    two pipelined reads of one key may have their replies reordered by the
+    network, and the client's guarantee — each returned value includes
+    everything previously returned — is a property of the sequence of
+    returns, not of the sequence of requests.
+    """
+    result = CheckResult("session-guarantees")
+    for client, ops in sorted(history.by_client().items(), key=lambda kv: str(kv[0])):
+        written: dict[Hashable, Lattice] = {}
+        reads: dict[Hashable, list] = {}
+        for op in ops:
+            if op.action in ("put", "add", "remove", "seal") and op.value is not None:
+                current = written.get(op.key)
+                written[op.key] = op.value if current is None else current.merge(op.value)
+            elif op.action == "get" and op.ok:
+                expected = written.get(op.key)
+                if expected is not None:
+                    if op.result is None or not expected.leq(op.result):
+                        result.failures.append(
+                            f"read-your-writes: {op.describe()} missing own "
+                            f"writes {canonicalize(expected)}")
+                reads.setdefault(op.key, []).append(op)
+        for key, key_reads in sorted(reads.items(), key=lambda kv: repr(kv[0])):
+            previous = None
+            for op in sorted(key_reads, key=lambda o: o.completed_at):
+                if previous is not None:
+                    if op.result is None:
+                        # A read regressing from a value to "missing" is the
+                        # starkest non-monotone read — never skip it.
+                        result.failures.append(
+                            f"monotonic reads: {op.describe()} observed None "
+                            f"after {canonicalize(previous)}")
+                        continue
+                    if not previous.leq(op.result):
+                        result.failures.append(
+                            f"monotonic reads: {op.describe()} observed "
+                            f"{canonicalize(op.result)} after "
+                            f"{canonicalize(previous)}")
+                if op.result is not None:
+                    previous = op.result
+    return result
+
+
+# -- causal safety ----------------------------------------------------------------
+
+
+def check_causal(deliveries: dict[Hashable, list]) -> CheckResult:
+    """FIFO-per-origin + happens-before order of every node's deliveries."""
+    result = CheckResult("causal-safety")
+    for node_id, delivered in sorted(deliveries.items(), key=lambda kv: str(kv[0])):
+        clock: dict[Hashable, int] = {}
+        for message in delivered:
+            if clock.get(message.origin, 0) != message.sequence - 1:
+                result.failures.append(
+                    f"{node_id}: FIFO gap from {message.origin} — delivered "
+                    f"seq {message.sequence} after seq {clock.get(message.origin, 0)}")
+            if not message.depends_on.leq(VectorClock(dict(clock))):
+                result.failures.append(
+                    f"{node_id}: causal violation — {message.origin}#"
+                    f"{message.sequence} delivered before its dependencies")
+            clock[message.origin] = max(clock.get(message.origin, 0),
+                                        message.sequence)
+        # Read-your-writes: a node delivers its own broadcasts immediately,
+        # so its own-origin subsequence must be exactly 1..k in order.
+        own = [m.sequence for m in delivered if m.origin == node_id]
+        if own != list(range(1, len(own) + 1)):
+            result.failures.append(
+                f"{node_id}: own broadcasts delivered out of order: {own}")
+    return result
+
+
+# -- Paxos safety -----------------------------------------------------------------
+
+
+def check_paxos_safety(replicas: dict, applied: dict[Hashable, list]) -> CheckResult:
+    """No two replicas decide different values for the same slot."""
+    result = CheckResult("paxos-safety")
+    chosen_by_slot: dict[int, dict] = {}
+    for replica_id, replica in sorted(replicas.items(), key=lambda kv: str(kv[0])):
+        for slot, value in replica.chosen.items():
+            chosen_by_slot.setdefault(slot, {})[replica_id] = value
+    for slot, per_replica in sorted(chosen_by_slot.items()):
+        values = {repr(value) for value in per_replica.values()}
+        if len(values) > 1:
+            result.failures.append(
+                f"slot {slot} decided differently across replicas: {per_replica}")
+    applied_lists = [entries for _, entries in
+                     sorted(applied.items(), key=lambda kv: str(kv[0]))]
+    for i in range(len(applied_lists)):
+        for j in range(i + 1, len(applied_lists)):
+            for (slot_a, value_a), (slot_b, value_b) in zip(applied_lists[i],
+                                                            applied_lists[j]):
+                if slot_a != slot_b or value_a != value_b:
+                    result.failures.append(
+                        f"applied logs diverge: {(slot_a, value_a)} vs "
+                        f"{(slot_b, value_b)}")
+                    break
+    return result
+
+
+# -- CALM coordination-freeness ---------------------------------------------------
+
+
+def calm_latency_bound(env: ChaosEnv, hops: int = 6, slack: float = 2.0) -> float:
+    """An upper bound on any monotone op's completion latency.
+
+    A coordination-free op costs a handful of message legs (request, an
+    optional reshard relay, reply) — never a quorum wait, a heal or a
+    gossip round.  Scaled by the worst link delay the nemesis induced.
+    """
+    return hops * env.max_link_delay + slack
+
+
+def check_calm_coordination_free(history: History, env: ChaosEnv,
+                                 bound: Optional[float] = None) -> CheckResult:
+    """Monotone ops never block on the nemesis; the cart compiles CALM-clean.
+
+    Dynamic half: partitions and drops in this simulator *lose* messages
+    rather than delaying them, so a monotone op either completes within a
+    few message delays or never — any completed op whose latency exceeds
+    the bound must have waited on coordination, which CALM says it never
+    needs.  Static half: the shopping-cart program's monotone handlers must
+    compile to ``NONE``/``SEALING`` and only the serializable checkout may
+    pay for consensus.
+    """
+    result = CheckResult("calm-coordination-free")
+    if bound is None:
+        bound = calm_latency_bound(env)
+    for op in history.completed():
+        if op.action not in MONOTONE_ACTIONS:
+            continue
+        if op.latency is not None and op.latency > bound:
+            result.failures.append(
+                f"monotone op blocked: {op.describe()} took "
+                f"{op.latency:.1f} > bound {bound:.1f}")
+    result.failures.extend(_static_calm_failures())
+    return result
+
+
+@lru_cache(maxsize=1)
+def _static_calm_failures() -> tuple[str, ...]:
+    """Cached: the verdict depends on the shipped apps, not on the run."""
+    from repro.apps.covid import build_covid_program
+    from repro.apps.shopping_cart import build_cart_program
+
+    failures = []
+    decisions = decide_coordination(
+        build_cart_program(), sealable_handlers=frozenset({"sealed_checkout"}))
+    for handler in ("add_item", "remove_item", "sealed_checkout", "checkout"):
+        # Every cart handler's effects are lattice merges, so CALM proves
+        # the whole cart coordination-free — including the checkout the
+        # developer over-specified as serializable.
+        if not decisions[handler].coordination_free:
+            failures.append(
+                f"CALM cross-check: monotone handler {handler!r} assigned "
+                f"{decisions[handler].mechanism.value}")
+    # The contrast case: the covid app's non-monotone vaccinate endpoint
+    # must still pay for a consensus log (pinned by the consistency tests).
+    covid = decide_coordination(build_covid_program())
+    if covid["vaccinate"].mechanism is not CoordinationMechanism.CONSENSUS_LOG:
+        failures.append(
+            "CALM cross-check: non-monotone vaccinate should require a "
+            f"consensus log, got {covid['vaccinate'].mechanism.value}")
+    return tuple(failures)
+
+
+# -- cart durability --------------------------------------------------------------
+
+
+def _exempt(op: Op, env: ChaosEnv) -> bool:
+    """True when the acking replica later lost state: outcome indeterminate."""
+    replica = op.info.get("replica")
+    return any(node_id == replica and when >= op.invoked_at
+               for when, node_id in env.lose_state_events)
+
+
+def check_cart_integrity(history: History, env: ChaosEnv,
+                         cart_workload) -> CheckResult:
+    """Acked cart ops are durable; sealed orders match their manifests."""
+    result = CheckResult("cart-integrity")
+    kvs = env.kvs
+    removed_items = {(op.info.get("session"), op.info.get("item"))
+                     for op in history.ops_for(action="remove")}
+    for session in cart_workload.sessions:
+        cart = kvs.get_merged(cart_workload.cart_key(session))
+        live = frozenset(cart.live) if cart is not None else frozenset()
+        tombstones = frozenset(cart.removed) if cart is not None else frozenset()
+        for op in history.ops_for(action="add"):
+            if op.info.get("session") != session or not op.ok or _exempt(op, env):
+                continue
+            item = op.info["item"]
+            if (session, item) in removed_items:
+                continue  # a remove (even an unacked one) may have landed
+            if item not in live:
+                result.failures.append(
+                    f"acked add lost: {op.describe()} — {item!r} not live "
+                    f"in session {session}")
+        for op in history.ops_for(action="remove"):
+            if op.info.get("session") != session or not op.ok or _exempt(op, env):
+                continue
+            item = op.info["item"]
+            if item not in tombstones:
+                result.failures.append(
+                    f"acked remove lost: {op.describe()} — {item!r} has no "
+                    f"tombstone in session {session}")
+        order = kvs.get_merged(cart_workload.order_key(session))
+        for op in history.ops_for(action="seal"):
+            if op.info.get("session") != session or "manifest" not in op.info:
+                continue
+            if not op.ok or _exempt(op, env):
+                continue
+            manifest = op.info["manifest"]
+            elements = frozenset(order.elements) if order is not None else frozenset()
+            if elements != manifest:
+                result.failures.append(
+                    f"sealed order mismatch in session {session}: "
+                    f"order={sorted(map(repr, elements))} "
+                    f"manifest={sorted(map(repr, manifest))}")
+    return result
+
+
+def summarize(checks: Iterable[CheckResult]) -> list[str]:
+    """All failures across checkers, prefixed with the checker name."""
+    return [f"{check.name}: {failure}"
+            for check in checks for failure in check.failures]

@@ -1,0 +1,432 @@
+"""The nemesis: a deterministic fault scheduler over the simulated cluster.
+
+A *fault* is a frozen dataclass describing one adversity (a partition storm,
+a crash, a latency spike, a live reshard) anchored at a simulated time; a
+*schedule* is a plain list of faults.  The :class:`Nemesis` arms a schedule
+against a :class:`ChaosEnv`, firing each fault through the public cluster
+APIs (``Network.partition``/``heal``, ``FailureInjector``,
+``LatticeKVS.reshard``) so protocols are stressed exactly the way a real
+outage would stress them.
+
+Design rules that make sweep/shrink work:
+
+* Faults are **RNG-free** — their effect depends only on their fields and
+  the deterministic cluster state, never on random draws.  Removing one
+  fault from a schedule therefore cannot change what the remaining faults
+  do, which is what makes greedy shrinking sound.
+* Faults are **frozen dataclasses** — their ``repr`` is a copy-pasteable
+  Python expression, and :func:`schedule_to_dicts` /
+  :func:`schedule_from_dicts` round-trip a schedule through JSON for CI
+  artifacts.
+* Node groups are derived from **sorted ids**, never from set iteration
+  order, so the event trace is identical under every ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Hashable, Optional, Sequence
+
+from repro.cluster import (
+    FailureDomain,
+    FailureInjector,
+    Network,
+    NetworkConfig,
+    Simulator,
+    Topology,
+)
+from repro.cluster.node import Node
+from repro.storage import LatticeKVS
+
+
+class ChaosEnv:
+    """Everything a fault can touch: simulator, network, KVS, injector.
+
+    Also the scenario's black box recorder: fault activations
+    (:attr:`fault_log`), state-losing recoveries
+    (:attr:`lose_state_events`) and the worst link delay induced
+    (:attr:`max_link_delay`) are logged so checkers can reason about what
+    the nemesis did — e.g. exempting an acked write from the durability
+    check when the acking replica later lost its state.
+    """
+
+    def __init__(self, seed: int, network_config: NetworkConfig,
+                 kvs: Optional[LatticeKVS] = None, *,
+                 simulator: Optional[Simulator] = None,
+                 network: Optional[Network] = None) -> None:
+        self.seed = seed
+        self.simulator = simulator or Simulator(seed=seed)
+        self.network = network or Network(self.simulator, network_config)
+        self.pristine_config = dataclasses.replace(self.network.config)
+        self.kvs = kvs
+        self.topology = Topology()
+        self.injector = FailureInjector(self.simulator, {}, self.topology)
+        self.fault_log: list[tuple[float, str]] = []
+        self.lose_state_events: list[tuple[float, Hashable]] = []
+        # Active link degradations.  Spikes register/unregister here and the
+        # effective config is always *recomputed from pristine*, so
+        # overlapping spikes compose (product of factors, max of drop
+        # rates) and removing any one fault from a schedule cannot change
+        # what the others do — the shrinker's soundness contract.
+        self._latency_factors: list[float] = []
+        self._drop_rates: list[float] = []
+        #: Worst link delay (base + jitter) seen at any point of the run —
+        #: latency spikes raise it.  The CALM checker's latency bound must
+        #: scale with it, not with the pristine config.
+        self.max_link_delay = self.network.config.base_delay + self.network.config.jitter
+        self._extra_crashable: dict[Hashable, Node] = {}
+        if kvs is not None:
+            self.refresh_injector()
+
+    # -- node registry -----------------------------------------------------------
+
+    def register_crashable(self, nodes: Sequence[Node]) -> None:
+        """Expose workload-owned nodes (Paxos, causal) to crash faults."""
+        for node in nodes:
+            self._extra_crashable[node.node_id] = node
+        self.refresh_injector()
+
+    def refresh_injector(self) -> None:
+        """Rebuild the injector's node map and topology from live state.
+
+        Called after a reshard: new replica generations must become
+        crashable and removed ones must stop being recover targets.
+        """
+        self.injector.nodes.clear()
+        if self.kvs is not None:
+            for node in self.kvs.all_nodes():
+                self.injector.nodes[node.node_id] = node
+                self.topology.place(node.node_id, az=node.domain)
+        for node_id, node in self._extra_crashable.items():
+            self.injector.nodes[node_id] = node
+
+    def crashable_ids(self) -> list[Hashable]:
+        """Crash-fault targets, sorted for seed- and hashseed-stable picks."""
+        return sorted(self.injector.nodes, key=str)
+
+    def partitionable_ids(self) -> list[Hashable]:
+        """Every registered node (replicas, clients, protocol nodes), sorted."""
+        return sorted(self.network.registered_nodes(), key=str)
+
+    # -- bookkeeping used by faults ----------------------------------------------
+
+    def log_fault(self, text: str) -> None:
+        self.fault_log.append((self.simulator.now, text))
+
+    def push_latency_factor(self, factor: float) -> None:
+        self._latency_factors.append(factor)
+        self._apply_link_degradations()
+
+    def pop_latency_factor(self, factor: float) -> None:
+        self._latency_factors.remove(factor)
+        self._apply_link_degradations()
+
+    def push_drop_rate(self, drop_rate: float) -> None:
+        self._drop_rates.append(drop_rate)
+        self._apply_link_degradations()
+
+    def pop_drop_rate(self, drop_rate: float) -> None:
+        self._drop_rates.remove(drop_rate)
+        self._apply_link_degradations()
+
+    def _apply_link_degradations(self) -> None:
+        config = self.network.config
+        factor = 1.0
+        for spike in self._latency_factors:
+            factor *= spike
+        config.base_delay = self.pristine_config.base_delay * factor
+        config.jitter = self.pristine_config.jitter * factor
+        config.drop_rate = max([self.pristine_config.drop_rate] + self._drop_rates)
+        self.max_link_delay = max(self.max_link_delay,
+                                  config.base_delay + config.jitter)
+
+    # -- global heal (the Jepsen "final reads" phase) ------------------------------
+
+    def heal_everything(self) -> None:
+        """Heal all partitions, restore link behaviour, recover every node.
+
+        Recoveries keep state (``lose_state=False``): the point of the final
+        phase is to let anti-entropy converge what survived, not to inject
+        more loss.
+        """
+        self.network.heal_all()
+        self._latency_factors.clear()
+        self._drop_rates.clear()
+        self._apply_link_degradations()
+        self.network.config.duplicate_rate = self.pristine_config.duplicate_rate
+        self.refresh_injector()
+        for node_id in self.crashable_ids():
+            node = self.injector.nodes[node_id]
+            if not node.alive:
+                self.injector.recover_now(node_id, lose_state=False)
+        self.log_fault("heal_everything")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base class: one adversity anchored at simulated time ``at``."""
+
+    at: float
+
+    def inject(self, env: ChaosEnv) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def window(self) -> tuple[float, float]:
+        """The (start, end) interval during which this fault is active."""
+        return (self.at, self.at)
+
+    def to_dict(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["kind"] = type(self).__name__
+        return payload
+
+
+@dataclass(frozen=True)
+class PartitionStorm(Fault):
+    """Repeated install/heal waves of a striped two-way partition.
+
+    Each wave splits the sorted registered node ids into two interleaved
+    groups (stripe offset rotates with ``wave + pivot`` so successive waves
+    cut along different lines), holds the cut for ``duration``, then heals.
+    Striping guarantees replicas of the same shard usually land on opposite
+    sides, which is the interesting cut for convergence protocols.
+    """
+
+    duration: float = 40.0
+    waves: int = 1
+    gap: float = 10.0
+    pivot: int = 0
+
+    def inject(self, env: ChaosEnv) -> None:
+        for wave in range(self.waves):
+            start = self.at + wave * (self.duration + self.gap)
+            env.simulator.schedule_at(
+                start, lambda wave=wave: self._start_wave(env, wave),
+                label=f"nemesis partition-wave-{wave}")
+
+    def _start_wave(self, env: ChaosEnv, wave: int) -> None:
+        ids = env.partitionable_ids()
+        offset = (wave + self.pivot) % 2
+        group_a = [node_id for i, node_id in enumerate(ids) if i % 2 == offset]
+        group_b = [node_id for i, node_id in enumerate(ids) if i % 2 != offset]
+        if not group_a or not group_b:
+            return
+        partition = env.network.partition(group_a, group_b)
+        env.log_fault(f"partition wave {wave}: {len(group_a)}|{len(group_b)} nodes")
+
+        def heal() -> None:
+            env.network.heal(partition)
+            env.log_fault(f"heal wave {wave}")
+
+        env.simulator.schedule(self.duration, heal,
+                               label=f"nemesis heal-wave-{wave}")
+
+    def window(self) -> tuple[float, float]:
+        # The last wave heals after its duration; no trailing gap follows.
+        return (self.at, self.at + self.waves * self.duration
+                + (self.waves - 1) * self.gap)
+
+
+@dataclass(frozen=True)
+class CrashReplica(Fault):
+    """Crash one node for ``downtime``, optionally losing volatile state.
+
+    The target is picked by ``index`` into the sorted crashable ids at fire
+    time — stable for a given cluster, and still meaningful after a reshard
+    changed the node population.  ``pool`` widens the target set from KVS
+    replicas to every crashable node (Paxos acceptors, causal peers);
+    ``lose_state`` is only honoured for KVS replicas, because acceptor
+    promises model durable state that fail-recover must not erase.
+    """
+
+    index: int = 0
+    downtime: float = 60.0
+    lose_state: bool = False
+    pool: str = "kvs"
+
+    def inject(self, env: ChaosEnv) -> None:
+        env.simulator.schedule_at(self.at, lambda: self._crash(env),
+                                  label=f"nemesis crash-{self.index}")
+
+    def _targets(self, env: ChaosEnv) -> list[Hashable]:
+        if self.pool == "kvs" and env.kvs is not None:
+            return sorted((n.node_id for n in env.kvs.all_nodes()), key=str)
+        return env.crashable_ids()
+
+    def _crash(self, env: ChaosEnv) -> None:
+        env.refresh_injector()
+        targets = self._targets(env)
+        if not targets:
+            return
+        node_id = targets[self.index % len(targets)]
+        lose_state = self.lose_state and self.pool == "kvs"
+        env.injector.crash_now(node_id)
+        env.log_fault(f"crash {node_id} (lose_state={lose_state})")
+        env.simulator.schedule(
+            self.downtime, lambda: self._recover(env, node_id, lose_state),
+            label=f"nemesis recover-{node_id}")
+
+    def _recover(self, env: ChaosEnv, node_id: Hashable, lose_state: bool) -> None:
+        if node_id not in env.injector.nodes:
+            return  # the node was retired by a reshard while down
+        env.injector.recover_now(node_id, lose_state=lose_state)
+        if lose_state:
+            env.lose_state_events.append((env.simulator.now, node_id))
+        env.log_fault(f"recover {node_id} (lose_state={lose_state})")
+
+    def window(self) -> tuple[float, float]:
+        return (self.at, self.at + self.downtime)
+
+
+@dataclass(frozen=True)
+class DomainOutage(Fault):
+    """Crash every node of one failure-domain instance, then recover it.
+
+    Recovery goes through the same retirement guard as
+    :class:`CrashReplica`: a node a reshard retired while the domain was
+    down stays down, instead of being resurrected into a ghost replica
+    gossiping at its likewise-retired peers forever.
+    """
+
+    domain: str = "az-1"
+    downtime: float = 60.0
+
+    def inject(self, env: ChaosEnv) -> None:
+        env.simulator.schedule_at(self.at, lambda: self._outage(env),
+                                  label=f"nemesis outage-{self.domain}")
+
+    def _outage(self, env: ChaosEnv) -> None:
+        env.refresh_injector()
+        plans = env.injector.crash_domain(
+            FailureDomain.AVAILABILITY_ZONE, self.domain, at=env.simulator.now)
+        env.log_fault(f"outage {self.domain}: {len(plans)} nodes")
+        for plan in plans:
+            env.simulator.schedule(
+                self.downtime,
+                lambda node_id=plan.node_id: self._recover(env, node_id),
+                label=f"nemesis outage-recover-{plan.node_id}")
+
+    def _recover(self, env: ChaosEnv, node_id: Hashable) -> None:
+        if node_id not in env.injector.nodes:
+            return  # retired by a reshard while the domain was down
+        env.injector.recover_now(node_id, lose_state=False)
+        env.log_fault(f"recover {node_id} (outage {self.domain})")
+
+    def window(self) -> tuple[float, float]:
+        return (self.at, self.at + self.downtime)
+
+
+@dataclass(frozen=True)
+class LatencySpike(Fault):
+    """Multiply link delay by ``factor`` for ``duration``, then restore.
+
+    Overlapping spikes compose multiplicatively and restore independently:
+    the effective delay is always recomputed from the pristine config and
+    the set of *currently active* spikes, never from saved-at-start values
+    (which would let one spike's restore re-impose another's degradation).
+    """
+
+    duration: float = 40.0
+    factor: float = 6.0
+
+    def inject(self, env: ChaosEnv) -> None:
+        env.simulator.schedule_at(self.at, lambda: self._start(env),
+                                  label="nemesis latency-spike")
+
+    def _start(self, env: ChaosEnv) -> None:
+        env.push_latency_factor(self.factor)
+        env.log_fault(f"latency x{self.factor}")
+        env.simulator.schedule(self.duration, lambda: self._restore(env),
+                               label="nemesis latency-restore")
+
+    def _restore(self, env: ChaosEnv) -> None:
+        env.pop_latency_factor(self.factor)
+        env.log_fault("latency restored")
+
+    def window(self) -> tuple[float, float]:
+        return (self.at, self.at + self.duration)
+
+
+@dataclass(frozen=True)
+class DropSpike(Fault):
+    """Raise the message drop probability for ``duration``, then restore.
+
+    Overlapping spikes compose as the max of the active rates (see
+    :class:`LatencySpike` for why restore is recompute-from-pristine).
+    """
+
+    duration: float = 40.0
+    drop_rate: float = 0.4
+
+    def inject(self, env: ChaosEnv) -> None:
+        env.simulator.schedule_at(self.at, lambda: self._start(env),
+                                  label="nemesis drop-spike")
+
+    def _start(self, env: ChaosEnv) -> None:
+        env.push_drop_rate(self.drop_rate)
+        env.log_fault(f"drop_rate -> {env.network.config.drop_rate}")
+        env.simulator.schedule(self.duration, lambda: self._restore(env),
+                               label="nemesis drop-restore")
+
+    def _restore(self, env: ChaosEnv) -> None:
+        env.pop_drop_rate(self.drop_rate)
+        env.log_fault("drop_rate restored")
+
+    def window(self) -> tuple[float, float]:
+        return (self.at, self.at + self.duration)
+
+
+@dataclass(frozen=True)
+class ReshardUnderFire(Fault):
+    """Fire ``LatticeKVS.reshard`` while other faults are live."""
+
+    new_shard_count: int = 4
+
+    def inject(self, env: ChaosEnv) -> None:
+        env.simulator.schedule_at(self.at, lambda: self._reshard(env),
+                                  label=f"nemesis reshard-{self.new_shard_count}")
+
+    def _reshard(self, env: ChaosEnv) -> None:
+        if env.kvs is None:
+            return
+        report = env.kvs.reshard(self.new_shard_count)
+        env.refresh_injector()
+        env.log_fault(f"reshard {report!r}")
+
+
+#: Fault kinds recognised by :func:`schedule_from_dicts`.
+FAULT_KINDS = {
+    cls.__name__: cls
+    for cls in (PartitionStorm, CrashReplica, DomainOutage,
+                LatencySpike, DropSpike, ReshardUnderFire)
+}
+
+
+def schedule_to_dicts(schedule: Sequence[Fault]) -> list[dict]:
+    return [fault.to_dict() for fault in schedule]
+
+
+def schedule_from_dicts(payloads: Sequence[dict]) -> list[Fault]:
+    schedule = []
+    for payload in payloads:
+        payload = dict(payload)
+        kind = payload.pop("kind")
+        schedule.append(FAULT_KINDS[kind](**payload))
+    return schedule
+
+
+class Nemesis:
+    """Arms a fault schedule against an environment."""
+
+    def __init__(self, env: ChaosEnv, schedule: Sequence[Fault]) -> None:
+        self.env = env
+        self.schedule = list(schedule)
+
+    def start(self) -> None:
+        for fault in self.schedule:
+            fault.inject(self.env)
+
+    def end_time(self) -> float:
+        """When the last fault's window closes (0.0 for an empty schedule)."""
+        return max((fault.window()[1] for fault in self.schedule), default=0.0)

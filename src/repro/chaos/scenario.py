@@ -1,0 +1,177 @@
+"""One chaos scenario: build a cluster, run workloads + nemesis, judge it.
+
+The scenario lifecycle is Jepsen's, compressed into simulated time:
+
+1. build a deterministic environment from the seed (simulator, network,
+   sharded/replicated KVS, failure injector);
+2. start the history-recording workloads and arm the nemesis schedule;
+3. run until every workload plan and fault window has elapsed;
+4. *final-read phase*: heal all partitions, restore link behaviour,
+   recover every node with its state, and settle long enough for delta
+   retransmission and full-sync anti-entropy to quiesce;
+5. run every checker and aggregate the violations.
+
+Everything is derived from ``(seed, schedule, config)``, so a failing
+scenario replays exactly — the contract :mod:`repro.chaos.sweep` leans on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from repro.chaos.checkers import (
+    CheckResult,
+    check_calm_coordination_free,
+    check_cart_integrity,
+    check_causal,
+    check_convergence,
+    check_paxos_safety,
+    check_session_guarantees,
+    summarize,
+)
+from repro.chaos.history import History
+from repro.chaos.nemesis import ChaosEnv, Fault, Nemesis
+from repro.chaos.workloads import (
+    CartWorkload,
+    CausalWorkload,
+    KVSWorkload,
+    PaxosWorkload,
+)
+from repro.cluster import NetworkConfig
+from repro.storage import LatticeKVS
+
+#: All workload names, in start order.
+ALL_WORKLOADS = ("kvs", "cart", "causal", "paxos")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Knobs for one scenario; the defaults are the CI 'fast' profile."""
+
+    shards: int = 2
+    replication: int = 2
+    vnodes: int = 16
+    gossip_interval: float = 20.0
+    full_sync_every: int = 10
+    base_delay: float = 1.0
+    jitter: float = 0.5
+    drop_rate: float = 0.0
+    kvs_clients: int = 2
+    kvs_keys: int = 6
+    kvs_ops: int = 24
+    cart_sessions: int = 2
+    cart_ops: int = 10
+    causal_nodes: int = 3
+    causal_broadcasts: int = 5
+    paxos_replicas: int = 3
+    paxos_proposals: int = 6
+    #: Post-heal quiescence horizon.  Must cover ``full_sync_every`` gossip
+    #: rounds plus delivery, or a state-losing recovery cannot be healed by
+    #: anti-entropy before the convergence checker looks.
+    settle_after_heal: float = 350.0
+
+    def network_config(self) -> NetworkConfig:
+        return NetworkConfig(base_delay=self.base_delay, jitter=self.jitter,
+                             drop_rate=self.drop_rate)
+
+
+@dataclass
+class ScenarioResult:
+    """What one scenario run produced."""
+
+    seed: int
+    schedule: list[Fault]
+    checks: list[CheckResult]
+    history: History
+    env: ChaosEnv = field(repr=False, default=None)
+    sim_duration: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    @property
+    def failures(self) -> list[str]:
+        return summarize(self.checks)
+
+    def __repr__(self) -> str:
+        status = "PASS" if self.passed else f"FAIL({len(self.failures)})"
+        return (f"ScenarioResult(seed={self.seed}, {status}, "
+                f"{len(self.history)} ops, t={self.sim_duration:.0f})")
+
+
+def build_env(seed: int, config: ChaosConfig) -> ChaosEnv:
+    env = ChaosEnv(seed, config.network_config())
+    env.kvs = LatticeKVS(env.simulator, env.network,
+                         shard_count=config.shards,
+                         replication_factor=config.replication,
+                         gossip_interval=config.gossip_interval,
+                         vnodes=config.vnodes,
+                         full_sync_every=config.full_sync_every)
+    env.refresh_injector()
+    return env
+
+
+def run_scenario(seed: int, schedule: Sequence[Fault],
+                 config: Optional[ChaosConfig] = None,
+                 workloads: Sequence[str] = ALL_WORKLOADS,
+                 trace: bool = False) -> ScenarioResult:
+    """Run one seeded scenario under ``schedule`` and check it."""
+    config = config or ChaosConfig()
+    env = build_env(seed, config)
+    if trace:
+        env.simulator.tracing = True
+    history = History()
+
+    active = {}
+    if "kvs" in workloads:
+        active["kvs"] = KVSWorkload(env, history, clients=config.kvs_clients,
+                                    keys=config.kvs_keys,
+                                    ops_per_client=config.kvs_ops)
+    if "cart" in workloads:
+        active["cart"] = CartWorkload(env, history, sessions=config.cart_sessions,
+                                      ops_per_session=config.cart_ops)
+    if "causal" in workloads:
+        active["causal"] = CausalWorkload(env, history, nodes=config.causal_nodes,
+                                          broadcasts_per_node=config.causal_broadcasts)
+    if "paxos" in workloads:
+        active["paxos"] = PaxosWorkload(env, history, replicas=config.paxos_replicas,
+                                        proposals=config.paxos_proposals)
+    for workload in active.values():
+        workload.start()
+
+    nemesis = Nemesis(env, schedule)
+    nemesis.start()
+
+    horizon = max([nemesis.end_time()] +
+                  [workload.end_time() for workload in active.values()]) + 5.0
+    env.simulator.run(until=horizon)
+    env.heal_everything()
+    env.simulator.run(until=env.simulator.now + config.settle_after_heal)
+
+    checks = [check_convergence(env),
+              check_session_guarantees(history),
+              check_calm_coordination_free(history, env)]
+    if "cart" in active:
+        checks.append(check_cart_integrity(history, env, active["cart"]))
+    if "causal" in active:
+        checks.append(check_causal(active["causal"].deliveries))
+    if "paxos" in active:
+        checks.append(check_paxos_safety(active["paxos"].log.replicas,
+                                         active["paxos"].applied))
+    return ScenarioResult(seed=seed, schedule=list(schedule), checks=checks,
+                          history=history, env=env,
+                          sim_duration=env.simulator.now)
+
+
+def fast_config() -> ChaosConfig:
+    """The CI sweep profile: small plans, short horizons, full coverage."""
+    return ChaosConfig()
+
+
+def thorough_config() -> ChaosConfig:
+    """A heavier profile for local soak runs."""
+    return replace(ChaosConfig(), shards=3, replication=3, kvs_ops=60,
+                   cart_ops=20, causal_broadcasts=10, paxos_proposals=12,
+                   settle_after_heal=500.0)

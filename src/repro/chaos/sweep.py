@@ -1,0 +1,275 @@
+"""Multi-seed sweeps, exact replay, and greedy schedule shrinking.
+
+``sweep(seeds, schedule)`` runs one scenario per seed and aggregates the
+verdicts.  For every failing seed it (optionally) *shrinks* the fault
+schedule: greedily re-running the scenario with one fault removed at a
+time, keeping any removal that still fails, until no single fault can be
+dropped — a minimal fault sequence for that seed.  Because faults are
+RNG-free and workload plans depend only on the seed (see
+:mod:`repro.chaos.nemesis`), the shrunken schedule is verified by direct
+re-execution at every step, never by assumption.
+
+The repro for a failing seed is copy-pasteable Python
+(:func:`repro_snippet`) plus a JSON form for CI artifacts.  Run the CI
+sweep locally with::
+
+    PYTHONPATH=src python -m repro.chaos.sweep --seeds 25
+
+and replay a failing artifact with::
+
+    PYTHONPATH=src python -m repro.chaos.sweep --replay CHAOS_failures.json
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.chaos.nemesis import (
+    CrashReplica,
+    DomainOutage,
+    DropSpike,
+    Fault,
+    LatencySpike,
+    PartitionStorm,
+    ReshardUnderFire,
+    schedule_from_dicts,
+    schedule_to_dicts,
+)
+from repro.chaos.scenario import (
+    ALL_WORKLOADS,
+    ChaosConfig,
+    ScenarioResult,
+    fast_config,
+    run_scenario,
+)
+
+
+def standard_schedule(reshard_to: int = 4) -> list[Fault]:
+    """The default gauntlet: every nemesis primitive, overlapping in time.
+
+    Covers the acceptance matrix explicitly: a multi-wave partition storm,
+    a state-losing crash, a domain-wide outage, latency and drop spikes,
+    and a reshard fired while all of it is in flight.
+    """
+    return [
+        PartitionStorm(at=20.0, duration=40.0, waves=2, gap=15.0),
+        DropSpike(at=30.0, duration=50.0, drop_rate=0.25),
+        CrashReplica(at=45.0, index=1, downtime=70.0, lose_state=True),
+        ReshardUnderFire(at=60.0, new_shard_count=reshard_to),
+        CrashReplica(at=75.0, index=0, downtime=40.0, pool="all"),
+        DomainOutage(at=90.0, domain="az-1", downtime=50.0),
+        LatencySpike(at=110.0, duration=40.0, factor=6.0),
+    ]
+
+
+@dataclass
+class SeedFailure:
+    """A failing seed with its minimized repro."""
+
+    seed: int
+    failures: list[str]
+    minimized: list[Fault]
+    repro: str
+    config: Optional[ChaosConfig] = None
+    workloads: tuple = tuple(ALL_WORKLOADS)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "failures": self.failures,
+            "minimized_schedule": schedule_to_dicts(self.minimized),
+            # Config and workload set are both part of the failure's
+            # identity: a different workload mix registers different nodes
+            # (changing partition striping) and consumes different RNG
+            # draws, so replaying under anything else is a different
+            # execution with a meaningless verdict.
+            "config": dataclasses.asdict(self.config) if self.config else None,
+            "workloads": list(self.workloads),
+            "repro": self.repro,
+        }
+
+
+@dataclass
+class SweepReport:
+    """The aggregate outcome of one multi-seed sweep."""
+
+    schedule: list[Fault]
+    results: list[ScenarioResult] = field(default_factory=list)
+    failures: list[SeedFailure] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    @property
+    def failing_seeds(self) -> list[int]:
+        return [failure.seed for failure in self.failures]
+
+    def summary(self) -> str:
+        lines = [f"chaos sweep: {len(self.results)} seeds, "
+                 f"{len(self.failures)} failing"]
+        for failure in self.failures:
+            lines.append(f"  seed {failure.seed}: {len(failure.failures)} "
+                         f"violations, minimized to "
+                         f"{len(failure.minimized)} fault(s)")
+            for violation in failure.failures[:5]:
+                lines.append(f"    - {violation}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "seeds": [result.seed for result in self.results],
+            "passed": self.passed,
+            "schedule": schedule_to_dicts(self.schedule),
+            "failures": [failure.to_dict() for failure in self.failures],
+            "ops_total": sum(len(result.history) for result in self.results),
+        }
+
+
+def replay(seed: int, schedule: Sequence[Fault],
+           config: Optional[ChaosConfig] = None,
+           workloads: Sequence[str] = ALL_WORKLOADS) -> ScenarioResult:
+    """Re-run one seed exactly; identical inputs give identical verdicts."""
+    return run_scenario(seed, schedule, config=config, workloads=workloads)
+
+
+def shrink(seed: int, schedule: Sequence[Fault],
+           config: Optional[ChaosConfig] = None,
+           workloads: Sequence[str] = ALL_WORKLOADS,
+           known_failing: Optional[ScenarioResult] = None
+           ) -> tuple[list[Fault], ScenarioResult]:
+    """Greedily minimize a failing schedule; every step re-verified by rerun.
+
+    Returns the minimal still-failing schedule and its scenario result.
+    Raises ``ValueError`` if the full schedule does not fail for ``seed``.
+    ``known_failing`` lets a caller that just ran the full schedule (the
+    sweep) skip the confirming re-run — scenarios are deterministic, so
+    the prior result is exactly what the re-run would produce.
+    """
+    current = list(schedule)
+    result = known_failing if known_failing is not None else run_scenario(
+        seed, current, config=config, workloads=workloads)
+    if result.passed:
+        raise ValueError(f"seed {seed} does not fail under the given schedule")
+    progressed = True
+    while progressed and current:
+        progressed = False
+        for index in range(len(current)):
+            candidate = current[:index] + current[index + 1:]
+            attempt = run_scenario(seed, candidate, config=config,
+                                   workloads=workloads)
+            if not attempt.passed:
+                current = candidate
+                result = attempt
+                progressed = True
+                break
+    return current, result
+
+
+def repro_snippet(seed: int, schedule: Sequence[Fault],
+                  config: Optional[ChaosConfig] = None,
+                  workloads: Sequence[str] = ALL_WORKLOADS) -> str:
+    """A copy-pasteable repro for one failing seed.
+
+    ``ChaosConfig`` and every fault are frozen dataclasses, so their reprs
+    are valid Python — the snippet reconstructs the run verbatim.
+    """
+    fault_lines = ",\n    ".join(repr(fault) for fault in schedule)
+    config_expr = repr(config) if config is not None else "fast_config()"
+    return (
+        "# PYTHONPATH=src python - <<'EOF'\n"
+        "from repro.chaos import *\n"
+        f"schedule = [\n    {fault_lines},\n]\n"
+        f"result = run_scenario({seed}, schedule, config={config_expr},\n"
+        f"                      workloads={tuple(workloads)!r})\n"
+        "print(result)\n"
+        "for failure in result.failures:\n"
+        "    print(' -', failure)\n"
+        "# EOF"
+    )
+
+
+def sweep(seeds: Sequence[int], schedule: Sequence[Fault],
+          config: Optional[ChaosConfig] = None,
+          workloads: Sequence[str] = ALL_WORKLOADS,
+          shrink_failures: bool = True) -> SweepReport:
+    """Run the schedule across every seed; shrink and package any failure."""
+    report = SweepReport(schedule=list(schedule))
+    for seed in seeds:
+        result = run_scenario(seed, schedule, config=config, workloads=workloads)
+        report.results.append(result)
+        if result.passed:
+            continue
+        minimized = list(schedule)
+        if shrink_failures:
+            minimized, _ = shrink(seed, schedule, config=config,
+                                  workloads=workloads, known_failing=result)
+        report.failures.append(SeedFailure(
+            seed=seed,
+            failures=result.failures,
+            minimized=minimized,
+            repro=repro_snippet(seed, minimized, config, workloads),
+            config=config,
+            workloads=tuple(workloads)))
+    return report
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Run a chaos sweep (or replay a failing artifact).")
+    parser.add_argument("--seeds", type=int, default=25,
+                        help="number of seeds to sweep (0..N-1)")
+    parser.add_argument("--out", default="CHAOS_sweep.json",
+                        help="sweep report output path")
+    parser.add_argument("--failures-out", default="CHAOS_failures.json",
+                        help="minimized failing schedules output path")
+    parser.add_argument("--replay", metavar="ARTIFACT",
+                        help="replay every failure in a CHAOS_failures.json")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip shrinking failing schedules")
+    args = parser.parse_args(argv)
+
+    if args.replay:
+        with open(args.replay) as handle:
+            artifact = json.load(handle)
+        exit_code = 0
+        for entry in artifact["failures"]:
+            schedule = schedule_from_dicts(entry["minimized_schedule"])
+            # Replay under the exact config and workload set the failure
+            # was found with — both are part of the failure's identity.
+            config = (ChaosConfig(**entry["config"]) if entry.get("config")
+                      else fast_config())
+            workloads = tuple(entry.get("workloads") or ALL_WORKLOADS)
+            result = replay(entry["seed"], schedule, config=config,
+                            workloads=workloads)
+            print(result)
+            for failure in result.failures:
+                print(" -", failure)
+            if not result.passed:
+                exit_code = 1
+        return exit_code
+
+    report = sweep(range(args.seeds), standard_schedule(),
+                   config=fast_config(),
+                   shrink_failures=not args.no_shrink)
+    print(report.summary())
+    with open(args.out, "w") as handle:
+        json.dump(report.to_dict(), handle, indent=2)
+    if report.failures:
+        with open(args.failures_out, "w") as handle:
+            json.dump({"failures": [failure.to_dict()
+                                    for failure in report.failures]},
+                      handle, indent=2)
+        for failure in report.failures:
+            print(failure.repro)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(_main())

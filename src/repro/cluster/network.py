@@ -64,12 +64,27 @@ class NetworkConfig:
 
 @dataclass
 class Partition:
-    """A network partition separating two groups of nodes."""
+    """A network partition separating two groups of nodes.
+
+    Semantics, pinned by ``tests/cluster/test_network_and_nodes.py``:
+
+    * a node never loses connectivity to itself (self-sends cross no cut);
+    * a node listed in *both* groups is a **bridge** — it straddles the cut
+      and keeps connectivity to every node in either group (the asymmetric
+      "Jepsen bridge" nemesis), while the two pure sides stay separated
+      from each other.
+    """
 
     group_a: frozenset
     group_b: frozenset
 
     def separates(self, source: Hashable, destination: Hashable) -> bool:
+        if source == destination:
+            return False
+        if (source in self.group_a and source in self.group_b) or (
+            destination in self.group_a and destination in self.group_b
+        ):
+            return False
         return (source in self.group_a and destination in self.group_b) or (
             source in self.group_b and destination in self.group_a
         )
@@ -101,6 +116,10 @@ class Network:
     def unregister(self, node_id: Hashable) -> None:
         self._handlers.pop(node_id, None)
 
+    def registered_nodes(self) -> list[Hashable]:
+        """Ids of every registered node, in registration order."""
+        return list(self._handlers)
+
     def set_domain(self, node_id: Hashable, domain: Hashable) -> None:
         """Record the failure domain of a node for locality-aware delays."""
         self._same_domain[node_id] = domain
@@ -114,9 +133,14 @@ class Network:
         return part
 
     def heal(self, partition: Partition) -> None:
-        """Remove a previously installed partition."""
-        if partition in self._partitions:
-            self._partitions.remove(partition)
+        """Remove a previously installed partition.
+
+        Idempotent, and removal is by handle identity — healing one handle
+        twice is a no-op, and never removes a *different* partition that
+        happens to cover the same groups (``list.remove`` would, because
+        dataclass equality conflates equal-valued handles).
+        """
+        self._partitions = [p for p in self._partitions if p is not partition]
 
     def heal_all(self) -> None:
         self._partitions.clear()

@@ -2,9 +2,19 @@
 
 The client node issues ``put``/``get`` messages over the simulated network
 (unlike :class:`~repro.storage.kvs.LatticeKVS`'s direct convenience API) and
-layers *read-your-writes* on top of eventual consistency by caching the
-client's own writes and merging them into reads — the client-centric,
-Hydrocache-style encapsulation the paper's consistency facet describes.
+layers two session guarantees on top of eventual consistency — the
+client-centric, Hydrocache-style encapsulation the paper's consistency facet
+describes:
+
+* *read-your-writes*: the client's own writes are cached and merged into
+  every read reply, so a read can never miss a write this session issued;
+* *monotonic reads*: every read reply is also merged with the join of all
+  values previously read for that key, so round-robin routing across
+  unevenly-converged replicas can never make a later read observe *less*
+  than an earlier one.
+
+Both caches are lattice joins, so they never invent state — they only keep
+the session's observed frontier from regressing.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ class KVSClient(Node):
         super().__init__(node_id, simulator, network, domain)
         self.kvs = kvs
         self.session_writes = MapLattice()
+        self.session_reads = MapLattice()
         self.pending_gets: dict[int, Callable[[Optional[Lattice]], None]] = {}
         self.completed_gets: dict[int, Optional[Lattice]] = {}
         self.acked_puts: set[int] = set()
@@ -66,6 +77,13 @@ class KVSClient(Node):
         own = self.session_writes.get(key)
         if own is not None:
             value = own if value is None else value.merge(own)
+        seen = self.session_reads.get(key)
+        if seen is not None:
+            value = seen if value is None else value.merge(seen)
+        if value is not None:
+            # Colliding cache entries are merged immutably by insert_into,
+            # so results already returned to callers are never mutated.
+            self.session_reads.insert_into(key, value)
         self.completed_gets[request_id] = value
         callback = self.pending_gets.pop(request_id, None)
         if callback is not None:

@@ -283,7 +283,11 @@ class ShardNode(Node):
         for round_no, (sent_at, keys) in list(pending.items()):
             if sent - sent_at < RETRANSMIT_AFTER_ROUNDS:
                 continue
-            entries = {key: self.store[key] for key in keys if key in self.store}
+            # Sorted so payload iteration order (and any per-key forwarding
+            # a receiver does) is identical under every PYTHONHASHSEED —
+            # set iteration order is salted and would fork the event trace.
+            entries = {key: self.store[key]
+                       for key in sorted(keys, key=repr) if key in self.store}
             if not entries:
                 # Every key this round carried was dropped from the store;
                 # nothing is left that needs acknowledging.
@@ -294,9 +298,11 @@ class ShardNode(Node):
             self.send(peer, "gossip",
                       {"round": round_no, "kind": "delta", "entries": entries},
                       size_bytes=wire_size(len(entries)))
-        # Fresh changes ship in their own new round.
+        # Fresh changes ship in their own new round.  Sorted for the same
+        # cross-PYTHONHASHSEED determinism reason as retransmissions above.
         if dirty:
-            entries = {key: self.store[key] for key in dirty if key in self.store}
+            entries = {key: self.store[key]
+                       for key in sorted(dirty, key=repr) if key in self.store}
             dirty.clear()
             self._ship(peer, pending, sent, entries, "delta")
 

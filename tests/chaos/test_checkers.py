@@ -1,0 +1,226 @@
+"""Unit tests for the chaos checkers: each must catch its violation class."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosConfig,
+    History,
+    build_env,
+    calm_latency_bound,
+    canonicalize,
+    check_calm_coordination_free,
+    check_causal,
+    check_convergence,
+    check_paxos_safety,
+    check_session_guarantees,
+    state_digest,
+)
+from repro.consistency.causal import CausalMessage
+from repro.lattices import SetUnion, TwoPhaseSet, VectorClock
+
+
+def env_with(seed=1, **overrides):
+    import dataclasses
+    return build_env(seed, dataclasses.replace(ChaosConfig(), **overrides))
+
+
+class TestHistory:
+    def test_invoke_complete_lifecycle(self):
+        history = History()
+        op = history.invoke("c1", "put", "k", SetUnion({1}), at=3.0)
+        assert not op.ok and op.latency is None
+        history.complete(op, result="r", at=5.5, replica="n1")
+        assert op.ok and op.latency == pytest.approx(2.5)
+        assert op.info["replica"] == "n1"
+        assert history.completed() == [op]
+
+    def test_views_filter_and_group(self):
+        history = History()
+        history.invoke("c1", "put", "k")
+        history.invoke("c2", "get", "k")
+        history.invoke("c1", "get", "j")
+        assert len(history.ops_for(client="c1")) == 2
+        assert len(history.ops_for(action="get")) == 2
+        assert set(history.by_client()) == {"c1", "c2"}
+        assert history.actions() == {"put", "get"}
+
+
+class TestConvergenceChecker:
+    def test_flags_divergent_replicas(self):
+        env = env_with(replication=2)
+        replica_a, replica_b = env.kvs.shards[0]
+        replica_a.merge_local("k", SetUnion({1}))
+        replica_b.merge_local("k", SetUnion({2}))
+        result = check_convergence(env)
+        assert not result.ok
+        assert "diverges" in result.failures[0]
+
+    def test_flags_missing_replica_copy(self):
+        env = env_with(replication=2)
+        env.kvs.shards[0][0].merge_local("k", SetUnion({1}))
+        assert not check_convergence(env).ok
+
+    def test_flags_misplaced_key(self):
+        env = env_with(shards=2, replication=1)
+        key = "kv-0"
+        wrong_shard = 1 - env.kvs.shard_for(key)
+        for replica in env.kvs.shards[wrong_shard]:
+            replica.merge_local(key, SetUnion({1}))
+        result = check_convergence(env)
+        assert any("resurrected" in failure for failure in result.failures)
+
+    def test_passes_converged_store(self):
+        env = env_with()
+        for i in range(10):
+            env.kvs.put(f"k-{i}", SetUnion({i}))
+        env.kvs.settle(400.0)
+        assert check_convergence(env).ok
+
+
+class TestSessionChecker:
+    def test_read_your_writes_violation(self):
+        history = History()
+        write = history.invoke("c1", "put", "k", SetUnion({"mine"}), at=1.0)
+        history.complete(write, at=2.0)
+        read = history.invoke("c1", "get", "k", at=3.0)
+        history.complete(read, result=SetUnion({"other"}), at=4.0)
+        result = check_session_guarantees(history)
+        assert any("read-your-writes" in failure for failure in result.failures)
+
+    def test_monotonic_reads_violation(self):
+        history = History()
+        first = history.invoke("c1", "get", "k", at=1.0)
+        history.complete(first, result=SetUnion({1, 2}), at=2.0)
+        second = history.invoke("c1", "get", "k", at=3.0)
+        history.complete(second, result=SetUnion({1}), at=4.0)
+        result = check_session_guarantees(history)
+        assert any("monotonic reads" in failure for failure in result.failures)
+
+    def test_clean_session_passes(self):
+        history = History()
+        write = history.invoke("c1", "put", "k", SetUnion({"a"}), at=1.0)
+        history.complete(write, at=2.0)
+        read = history.invoke("c1", "get", "k", at=3.0)
+        history.complete(read, result=SetUnion({"a", "b"}), at=4.0)
+        assert check_session_guarantees(history).ok
+
+    def test_incomplete_reads_are_indeterminate_not_failures(self):
+        history = History()
+        history.invoke("c1", "put", "k", SetUnion({"a"}), at=1.0)
+        history.invoke("c1", "get", "k", at=2.0)  # never completes
+        assert check_session_guarantees(history).ok
+
+    def test_pipelined_reads_judged_in_completion_order(self):
+        """Two pipelined reads whose replies reorder are still monotone in
+        completion order — the order the client actually returns values —
+        and must not be flagged just because invocation order differs."""
+        history = History()
+        slow = history.invoke("c1", "get", "k", at=1.0)
+        fast = history.invoke("c1", "get", "k", at=2.0)
+        history.complete(fast, result=SetUnion({"f"}), at=4.0)
+        history.complete(slow, result=SetUnion({"e", "f"}), at=21.0)
+        assert check_session_guarantees(history).ok
+
+    def test_read_regressing_to_none_is_flagged(self):
+        history = History()
+        first = history.invoke("c1", "get", "k", at=1.0)
+        history.complete(first, result=SetUnion({"x"}), at=2.0)
+        second = history.invoke("c1", "get", "k", at=3.0)
+        history.complete(second, result=None, at=4.0)
+        result = check_session_guarantees(history)
+        assert any("observed None" in failure for failure in result.failures)
+
+
+class TestCausalChecker:
+    def message(self, origin, seq, deps=None):
+        return CausalMessage(origin=origin, sequence=seq,
+                             depends_on=VectorClock(deps or {}), payload=None)
+
+    def test_fifo_gap_detected(self):
+        deliveries = {"n1": [self.message("n2", 2)]}
+        result = check_causal(deliveries)
+        assert any("FIFO" in failure for failure in result.failures)
+
+    def test_causal_dependency_violation_detected(self):
+        # n1 delivers n2#1 which depends on n3#1, never delivered at n1.
+        deliveries = {"n1": [self.message("n2", 1, deps={"n3": 1})]}
+        result = check_causal(deliveries)
+        assert any("causal violation" in failure for failure in result.failures)
+
+    def test_valid_causal_order_passes(self):
+        deliveries = {"n1": [self.message("n1", 1),
+                             self.message("n2", 1, deps={"n1": 1}),
+                             self.message("n2", 2, deps={"n1": 1, "n2": 1})]}
+        assert check_causal(deliveries).ok
+
+
+class TestPaxosChecker:
+    class FakeReplica:
+        def __init__(self, chosen):
+            self.chosen = chosen
+
+    def test_conflicting_decisions_detected(self):
+        replicas = {"a": self.FakeReplica({0: "x"}),
+                    "b": self.FakeReplica({0: "y"})}
+        result = check_paxos_safety(replicas, {})
+        assert any("decided differently" in failure
+                   for failure in result.failures)
+
+    def test_applied_prefix_divergence_detected(self):
+        replicas = {"a": self.FakeReplica({}), "b": self.FakeReplica({})}
+        applied = {"a": [(0, "x"), (1, "y")], "b": [(0, "x"), (1, "z")]}
+        result = check_paxos_safety(replicas, applied)
+        assert any("applied logs diverge" in failure
+                   for failure in result.failures)
+
+    def test_partial_but_consistent_logs_pass(self):
+        replicas = {"a": self.FakeReplica({0: "x", 1: "y"}),
+                    "b": self.FakeReplica({0: "x"})}
+        applied = {"a": [(0, "x"), (1, "y")], "b": [(0, "x")]}
+        assert check_paxos_safety(replicas, applied).ok
+
+
+class TestCalmChecker:
+    def test_blocked_monotone_op_detected(self):
+        env = env_with()
+        history = History()
+        op = history.invoke("c1", "put", "k", SetUnion({1}), at=0.0)
+        history.complete(op, at=calm_latency_bound(env) + 50.0)
+        result = check_calm_coordination_free(history, env)
+        assert any("blocked" in failure for failure in result.failures)
+
+    def test_coordination_ops_exempt_from_latency_bound(self):
+        env = env_with()
+        history = History()
+        op = history.invoke("p1", "propose", "v", at=0.0)
+        history.complete(op, at=500.0)
+        assert check_calm_coordination_free(history, env).ok
+
+    def test_static_cross_check_passes_on_shipped_apps(self):
+        env = env_with()
+        assert check_calm_coordination_free(History(), env).ok
+
+    def test_bound_scales_with_nemesis_induced_delay(self):
+        env = env_with()
+        pristine = calm_latency_bound(env)
+        env.push_latency_factor(8.0)
+        assert calm_latency_bound(env) > pristine * 4
+        env.pop_latency_factor(8.0)
+        # The bound keeps covering the worst delay ever induced, so ops
+        # completed *during* the spike are still judged fairly.
+        assert calm_latency_bound(env) > pristine * 4
+
+
+class TestCanonicalDigests:
+    def test_canonicalize_is_order_insensitive(self):
+        assert canonicalize(SetUnion({1, 2, 3})) == canonicalize(SetUnion({3, 1, 2}))
+        assert canonicalize(TwoPhaseSet(added={"a", "b"}, removed={"c"})) == \
+            canonicalize(TwoPhaseSet(added={"b", "a"}, removed={"c"}))
+
+    def test_state_digest_covers_every_replica(self):
+        env = env_with(replication=2)
+        env.kvs.put("k", SetUnion({1}))
+        env.kvs.settle(200.0)
+        digest = state_digest(env)
+        for node in env.kvs.all_nodes():
+            assert str(node.node_id) in digest

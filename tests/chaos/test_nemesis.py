@@ -1,0 +1,237 @@
+"""Unit tests for the chaos environment and fault primitives."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosConfig,
+    CrashReplica,
+    DomainOutage,
+    DropSpike,
+    LatencySpike,
+    Nemesis,
+    PartitionStorm,
+    ReshardUnderFire,
+    build_env,
+    schedule_from_dicts,
+    schedule_to_dicts,
+    standard_schedule,
+)
+from repro.lattices import SetUnion
+
+
+def build(seed=1, **overrides):
+    import dataclasses
+    config = dataclasses.replace(ChaosConfig(), **overrides)
+    return build_env(seed, config), config
+
+
+class TestPartitionStorm:
+    def test_installs_then_heals(self):
+        env, _ = build()
+        storm = PartitionStorm(at=10.0, duration=20.0, waves=2, gap=5.0)
+        Nemesis(env, [storm]).start()
+        env.simulator.run(until=15.0)
+        assert len(env.network._partitions) == 1
+        env.simulator.run(until=31.0)
+        assert env.network._partitions == []
+        env.simulator.run(until=40.0)
+        assert len(env.network._partitions) == 1  # second wave
+        env.simulator.run(until=60.0)
+        assert env.network._partitions == []
+
+    def test_waves_cut_along_different_stripes(self):
+        env, _ = build()
+        storm = PartitionStorm(at=5.0, duration=10.0, waves=2, gap=5.0)
+        Nemesis(env, [storm]).start()
+        env.simulator.run(until=6.0)
+        first = env.network._partitions[0].group_a
+        env.simulator.run(until=21.0)
+        second = env.network._partitions[0].group_a
+        assert first != second
+
+    def test_storm_blocks_replica_traffic(self):
+        env, _ = build()
+        replicas = env.kvs.shards[0]
+        storm = PartitionStorm(at=1.0, duration=500.0)
+        Nemesis(env, [storm]).start()
+        env.simulator.run(until=5.0)
+        # The stripe split puts adjacent sorted ids on opposite sides.
+        assert not env.network.is_reachable(replicas[0].node_id,
+                                            replicas[1].node_id)
+
+
+class TestCrashReplica:
+    def test_lose_state_crash_recovers_and_is_logged(self):
+        env, config = build()
+        target = sorted((n.node_id for n in env.kvs.all_nodes()), key=str)[1]
+        fault = CrashReplica(at=5.0, index=1, downtime=30.0, lose_state=True)
+        Nemesis(env, [fault]).start()
+        env.simulator.run(until=10.0)
+        assert not env.injector.nodes[target].alive
+        env.simulator.run(until=40.0)
+        assert env.injector.nodes[target].alive
+        assert env.lose_state_events == [(35.0, target)]
+
+    def test_lose_state_ignored_outside_kvs_pool(self):
+        """Acceptor promises model durable state; fail-recover keeps them."""
+        from repro.chaos.history import History
+        from repro.chaos.workloads import PaxosWorkload
+
+        env, _ = build()
+        workload = PaxosWorkload(env, History(), replicas=3)
+        replica = workload.log.replicas["chaos-paxos-0"]
+        replica.promised_ballot = (7, "chaos-paxos-0")
+        index = env.crashable_ids().index("chaos-paxos-0")
+        fault = CrashReplica(at=1.0, index=index, downtime=5.0,
+                             lose_state=True, pool="all")
+        Nemesis(env, [fault]).start()
+        env.simulator.run(until=10.0)
+        assert replica.alive
+        assert replica.promised_ballot == (7, "chaos-paxos-0")
+        assert env.lose_state_events == []
+
+    def test_recovery_skipped_for_replica_retired_by_reshard(self):
+        env, _ = build(shards=3)
+        # Crash a replica of shard 2, then shrink to 1 shard while it is
+        # down: the retired node must not be recovered into a ghost.
+        schedule = [CrashReplica(at=5.0, index=5, downtime=30.0),
+                    ReshardUnderFire(at=10.0, new_shard_count=1)]
+        Nemesis(env, schedule).start()
+        env.simulator.run(until=60.0)
+        assert len(env.kvs.shards) == 1
+        live_ids = {node.node_id for node in env.kvs.all_nodes()}
+        assert set(env.injector.nodes) >= live_ids
+
+
+class TestSpikes:
+    def test_latency_spike_restores_and_tracks_max(self):
+        env, config = build()
+        Nemesis(env, [LatencySpike(at=5.0, duration=10.0, factor=4.0)]).start()
+        env.simulator.run(until=7.0)
+        assert env.network.config.base_delay == pytest.approx(config.base_delay * 4)
+        env.simulator.run(until=20.0)
+        assert env.network.config.base_delay == pytest.approx(config.base_delay)
+        assert env.max_link_delay == pytest.approx(
+            (config.base_delay + config.jitter) * 4)
+
+    def test_drop_spike_restores(self):
+        env, config = build()
+        Nemesis(env, [DropSpike(at=5.0, duration=10.0, drop_rate=0.9)]).start()
+        env.simulator.run(until=7.0)
+        assert env.network.config.drop_rate == 0.9
+        env.simulator.run(until=20.0)
+        assert env.network.config.drop_rate == config.drop_rate
+
+    def test_overlapping_latency_spikes_compose_and_fully_restore(self):
+        """A spike's restore must not re-impose another spike's degraded
+        values: effective delay is recomputed from pristine + active set."""
+        env, config = build()
+        schedule = [LatencySpike(at=10.0, duration=40.0, factor=6.0),
+                    LatencySpike(at=30.0, duration=40.0, factor=6.0)]
+        Nemesis(env, schedule).start()
+        env.simulator.run(until=35.0)  # both active: factors multiply
+        assert env.network.config.base_delay == pytest.approx(
+            config.base_delay * 36)
+        env.simulator.run(until=55.0)  # first ended, second still active
+        assert env.network.config.base_delay == pytest.approx(
+            config.base_delay * 6)
+        env.simulator.run(until=80.0)  # both ended: pristine again
+        assert env.network.config.base_delay == pytest.approx(config.base_delay)
+        assert env.network.config.jitter == pytest.approx(config.jitter)
+
+    def test_overlapping_drop_spikes_take_max_and_fully_restore(self):
+        env, config = build()
+        schedule = [DropSpike(at=10.0, duration=40.0, drop_rate=0.3),
+                    DropSpike(at=30.0, duration=40.0, drop_rate=0.6)]
+        Nemesis(env, schedule).start()
+        env.simulator.run(until=35.0)
+        assert env.network.config.drop_rate == 0.6
+        env.simulator.run(until=55.0)
+        assert env.network.config.drop_rate == 0.6  # 0.3-spike gone, max holds
+        env.simulator.run(until=80.0)
+        assert env.network.config.drop_rate == config.drop_rate
+
+
+class TestReshardUnderFire:
+    def test_reshard_fires_and_refreshes_injector(self):
+        env, _ = build()
+        for i in range(20):
+            env.kvs.put(f"k-{i}", SetUnion({i}))
+        Nemesis(env, [ReshardUnderFire(at=5.0, new_shard_count=4)]).start()
+        env.simulator.run(until=10.0)
+        assert env.kvs.shard_count == 4
+        assert set(env.injector.nodes) == {
+            node.node_id for node in env.kvs.all_nodes()}
+
+
+class TestDomainOutage:
+    def test_outage_crashes_whole_domain_then_recovers(self):
+        env, _ = build(replication=2)
+        az1 = [node for node in env.kvs.all_nodes() if node.domain == "az-1"]
+        assert az1
+        Nemesis(env, [DomainOutage(at=5.0, domain="az-1", downtime=20.0)]).start()
+        env.simulator.run(until=10.0)
+        assert all(not node.alive for node in az1)
+        az0 = [node for node in env.kvs.all_nodes() if node.domain == "az-0"]
+        assert all(node.alive for node in az0)
+        env.simulator.run(until=30.0)
+        assert all(node.alive for node in az1)
+
+    def test_outage_recovery_skips_replicas_retired_by_reshard(self):
+        """A reshard retiring a shard while its AZ is down must win: the
+        retired replicas stay crashed instead of resurrecting as ghosts
+        gossiping at their likewise-retired peers forever."""
+        env, _ = build(shards=2, replication=1)
+        retired_nodes = list(env.kvs.shards[1])
+        schedule = [DomainOutage(at=20.0, domain="az-0", downtime=60.0),
+                    ReshardUnderFire(at=40.0, new_shard_count=1)]
+        Nemesis(env, schedule).start()
+        env.simulator.run(until=100.0)
+        assert len(env.kvs.shards) == 1
+        # The surviving shard's replica (also az-0) recovered on schedule...
+        assert all(node.alive for node in env.kvs.all_nodes())
+        # ...but the retired ones stayed down, with no gossip timer re-armed.
+        assert all(not node.alive for node in retired_nodes)
+
+
+class TestScheduleSerialization:
+    def test_round_trip_through_dicts(self):
+        schedule = standard_schedule()
+        assert schedule_from_dicts(schedule_to_dicts(schedule)) == schedule
+
+    def test_reprs_are_copy_pasteable(self):
+        import repro.chaos as chaos
+
+        namespace = {name: getattr(chaos, name) for name in chaos.__all__}
+        for fault in standard_schedule():
+            assert eval(repr(fault), namespace) == fault
+
+    def test_standard_schedule_covers_acceptance_matrix(self):
+        schedule = standard_schedule()
+        kinds = {type(fault).__name__ for fault in schedule}
+        assert "PartitionStorm" in kinds
+        assert "ReshardUnderFire" in kinds
+        assert any(isinstance(fault, CrashReplica) and fault.lose_state
+                   for fault in schedule)
+
+    def test_end_time_spans_longest_window(self):
+        env, _ = build()
+        nemesis = Nemesis(env, standard_schedule())
+        assert nemesis.end_time() == max(
+            fault.window()[1] for fault in standard_schedule())
+
+
+class TestHealEverything:
+    def test_restores_config_partitions_and_nodes(self):
+        env, config = build()
+        schedule = [PartitionStorm(at=1.0, duration=900.0),
+                    DropSpike(at=1.0, duration=900.0, drop_rate=0.8),
+                    CrashReplica(at=2.0, index=0, downtime=900.0)]
+        Nemesis(env, schedule).start()
+        env.simulator.run(until=10.0)
+        assert env.network._partitions
+        assert any(not node.alive for node in env.kvs.all_nodes())
+        env.heal_everything()
+        assert env.network._partitions == []
+        assert env.network.config.drop_rate == config.drop_rate
+        assert all(node.alive for node in env.kvs.all_nodes())

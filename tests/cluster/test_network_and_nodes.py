@@ -88,6 +88,72 @@ class TestNetworkDelivery:
             Node("a", sim, net)
 
 
+class TestPartitionSemantics:
+    """Pins the Partition/heal semantics the chaos nemesis relies on."""
+
+    def test_heal_is_idempotent(self):
+        sim, net, a, b, received = build_pair()
+        part = net.partition({"a"}, {"b"})
+        net.heal(part)
+        net.heal(part)  # second heal of the same handle is a no-op
+        a.send("b", "inbox", "ok")
+        sim.run_until_idle()
+        assert received == ["ok"]
+
+    def test_heal_removes_by_handle_not_by_equality(self):
+        """Two equal-valued partitions are distinct cuts: healing one
+        handle must not tear down the other (list.remove would)."""
+        sim, net, a, b, received = build_pair()
+        first = net.partition({"a"}, {"b"})
+        second = net.partition({"a"}, {"b"})
+        net.heal(first)
+        net.heal(first)  # repeated heal must not consume `second`
+        assert not net.is_reachable("a", "b")
+        net.heal(second)
+        assert net.is_reachable("a", "b")
+
+    def test_heal_of_uninstalled_partition_is_a_noop(self):
+        from repro.cluster import Partition
+
+        sim, net, a, b, received = build_pair()
+        installed = net.partition({"a"}, {"b"})
+        net.heal(Partition(frozenset({"a"}), frozenset({"b"})))
+        assert not net.is_reachable("a", "b")
+        net.heal(installed)
+
+    def test_self_sends_never_separated(self):
+        sim, net, a, b, received = build_pair()
+        part = net.partition({"a"}, {"a", "b"})
+        assert not part.separates("a", "a")
+        assert net.is_reachable("a", "a")
+
+    def test_node_in_both_groups_is_a_bridge(self):
+        """A node listed on both sides straddles the cut: it keeps
+        connectivity to everyone while the pure sides stay separated."""
+        sim = Simulator()
+        net = Network(sim, NetworkConfig(base_delay=1.0, jitter=0.0))
+        part = net.partition({"a", "bridge"}, {"b", "bridge"})
+        assert part.separates("a", "b") and part.separates("b", "a")
+        assert not part.separates("a", "bridge")
+        assert not part.separates("bridge", "b")
+        assert not part.separates("b", "bridge")
+
+    def test_bridge_relays_around_the_cut(self):
+        sim = Simulator()
+        net = Network(sim, NetworkConfig(base_delay=1.0, jitter=0.0))
+        got = []
+        a = Node("a", sim, net)
+        bridge = Node("bridge", sim, net)
+        b = Node("b", sim, net)
+        bridge.on("relay", lambda msg: bridge.send("b", "inbox", msg.payload))
+        b.on("inbox", got.append)
+        net.partition({"a", "bridge"}, {"b", "bridge"})
+        a.send("b", "inbox", "direct")    # dropped by the cut
+        a.send("bridge", "relay", "via")  # relayed around it
+        sim.run_until_idle()
+        assert [msg.payload for msg in got] == ["via"]
+
+
 class TestNodeLifecycle:
     def test_crashed_node_ignores_messages(self):
         sim, net, a, b, received = build_pair()

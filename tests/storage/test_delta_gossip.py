@@ -282,6 +282,59 @@ class TestDeltaGossipRobustness:
         assert net.bytes_sent - before == wire_size(1)
 
 
+class TestRecoverDuringPartition:
+    """Audit for FailureInjector.recover_now(lose_state=True): a replica
+    recovered with lost state must rejoin delta gossip — its own writes
+    must be dirty-marked toward peers, and peers' periodic full-sync
+    anti-entropy must refill it — even when the recovery happens while a
+    partition is still unhealed and every message in between is lost."""
+
+    def test_lose_state_recovery_during_unhealed_partition_heals_after(self):
+        from repro.cluster import FailureInjector
+
+        sim, net, kvs = build_kvs("delta", shards=1, replication=2,
+                                  full_sync_every=5)
+        replica_a, replica_b = kvs.shards[0]
+        injector = FailureInjector(
+            sim, {replica.node_id: replica for replica in kvs.shards[0]})
+        for index in range(30):
+            kvs.put(f"k-{index}", SetUnion({index}))
+        kvs.settle(400.0)
+        assert_replicas_converged(kvs)
+
+        partition = net.partition({replica_a.node_id}, {replica_b.node_id})
+        injector.crash_now(replica_b.node_id)
+        sim.run(until=sim.now + 40.0)
+        # Recover with lost state while the partition is still up: every
+        # refill message from A is dropped until the heal.
+        injector.recover_now(replica_b.node_id, lose_state=True)
+        assert replica_b.store == {}
+        # B also takes fresh writes of its own while still partitioned.
+        for index in range(30, 40):
+            replica_b.merge_local(f"k-{index}", SetUnion({index}))
+        kvs.settle(200.0)
+        assert replica_a.value_of("k-35") is None  # nothing crossed the cut
+
+        net.heal(partition)
+        kvs.settle(600.0)
+        assert len(replica_b.store) == 40  # refilled by full-sync rounds
+        assert replica_a.value_of("k-35") == SetUnion({35})  # B's dirty keys
+        assert_replicas_converged(kvs)
+
+    def test_lose_state_recovery_keeps_gossiping_new_writes(self):
+        """The recovered replica's own gossip timer must be re-armed and
+        its dirty bookkeeping reinitialised, or post-recovery writes can
+        never reach peers once an eager replicate is dropped."""
+        sim, net, kvs = build_kvs("delta", shards=1, replication=2,
+                                  full_sync_every=1000)
+        replica_a, replica_b = kvs.shards[0]
+        replica_b.crash()
+        replica_b.recover(lose_state=True)
+        replica_b.merge_local("fresh", SetUnion({"b"}))
+        kvs.settle(200.0)
+        assert replica_a.value_of("fresh") == SetUnion({"b"})
+
+
 class TestDeltaGossipBytes:
     @pytest.mark.parametrize("store_size", [200, 1000])
     def test_round_bytes_scale_with_delta_not_store(self, store_size):
