@@ -46,7 +46,7 @@ class LogShippingPrimary(Node):
         record = LogRecord(len(self.log), handler, dict(args))
         self.log.append(record)
         for standby in self.standbys:
-            self.send(standby, "log_record", record, size_bytes=256)
+            self.queue(standby, "log_record", record, entries=1)
         request = self.interpreter.call(handler, **args)
         outcome = self.interpreter.run_tick()
         reply = {
@@ -55,7 +55,7 @@ class LogShippingPrimary(Node):
             "value": outcome.responses.get(request),
             "replica": self.node_id,
         }
-        self.send(message.source, "reply", reply)
+        self.send(message.source, "reply", reply, entries=1)
 
 
 class LogShippingStandby(Node):
@@ -108,4 +108,4 @@ class LogShippingStandby(Node):
             "value": outcome.responses.get(request),
             "replica": self.node_id,
         }
-        self.send(message.source, "reply", reply)
+        self.send(message.source, "reply", reply, entries=1)

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Hashable, Iterable, Optional
 
-from repro.cluster.network import Message, wire_size
+from repro.cluster.network import Message
 from repro.cluster.node import Node
 from repro.core.interpreter import SingleNodeInterpreter
 from repro.core.program import HydroProgram
@@ -59,7 +59,7 @@ class ReplicaNode(Node):
         else:
             reply = {"request_id": request_id, "status": "ok",
                      "value": outcome.responses.get(interp_request), "replica": self.node_id}
-        self.send(message.source, "reply", reply)
+        self.send(message.source, "reply", reply, entries=1)
 
     def _on_ordered(self, message: Message) -> None:
         """Apply an operation delivered through the coordination layer (no reply)."""
@@ -84,7 +84,7 @@ class ReplicaNode(Node):
         entry_count = (sum(len(table) for table in snapshot.tables.values())
                        + len(snapshot.vars))
         for peer in self.peers:
-            self.send(peer, "gossip", snapshot, size_bytes=wire_size(entry_count))
+            self.queue(peer, "gossip", snapshot, entries=entry_count)
 
     def _on_gossip(self, message: Message) -> None:
         self.interpreter.state.merge_from(message.payload)

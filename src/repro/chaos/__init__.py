@@ -29,6 +29,7 @@ from repro.chaos.checkers import (
     check_cart_integrity,
     check_causal,
     check_convergence,
+    check_gossip_byte_budget,
     check_paxos_safety,
     check_session_guarantees,
     state_digest,
@@ -37,6 +38,7 @@ from repro.chaos.checkers import (
 from repro.chaos.history import FAIL, INVOKED, OK, History, Op
 from repro.chaos.nemesis import (
     ChaosEnv,
+    ClockSkew,
     CrashReplica,
     DomainOutage,
     DropSpike,
@@ -45,6 +47,7 @@ from repro.chaos.nemesis import (
     Nemesis,
     PartitionStorm,
     ReshardUnderFire,
+    SlowNode,
     schedule_from_dicts,
     schedule_to_dicts,
 )
@@ -79,7 +82,8 @@ __all__ = [
     "History", "Op", "INVOKED", "OK", "FAIL",
     # nemesis
     "ChaosEnv", "Nemesis", "Fault", "PartitionStorm", "CrashReplica",
-    "DomainOutage", "LatencySpike", "DropSpike", "ReshardUnderFire",
+    "DomainOutage", "LatencySpike", "DropSpike", "SlowNode", "ClockSkew",
+    "ReshardUnderFire",
     "schedule_to_dicts", "schedule_from_dicts",
     # workloads
     "KVSWorkload", "CartWorkload", "CausalWorkload", "PaxosWorkload",
@@ -87,7 +91,8 @@ __all__ = [
     # checkers
     "CheckResult", "check_convergence", "check_session_guarantees",
     "check_causal", "check_paxos_safety", "check_calm_coordination_free",
-    "check_cart_integrity", "calm_latency_bound", "canonicalize",
+    "check_cart_integrity", "check_gossip_byte_budget",
+    "calm_latency_bound", "canonicalize",
     "state_digest", "summarize",
     # scenarios & sweeps
     "ChaosConfig", "ScenarioResult", "run_scenario", "build_env",

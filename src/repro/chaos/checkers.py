@@ -241,9 +241,19 @@ def calm_latency_bound(env: ChaosEnv, hops: int = 6, slack: float = 2.0) -> floa
 
     A coordination-free op costs a handful of message legs (request, an
     optional reshard relay, reply) — never a quorum wait, a heal or a
-    gossip round.  Scaled by the worst link delay the nemesis induced.
+    gossip round.  Scaled by the worst link delay the nemesis induced,
+    plus the transport's RPC retry allowance *only if a retry actually
+    fired somewhere this run*: an op whose first attempt was dropped
+    legitimately completes one (capped, clock-drift-stretched) retry
+    timeout later without having coordinated with anyone — but a run in
+    which no retry fired keeps the tight bound, so a monotone op that
+    waits out a gossip round or a quorum in a fault-free scenario is
+    still caught.
     """
-    return hops * env.max_link_delay + slack
+    allowance = 0.0
+    if env.network.metrics.counter("transport.rpc_retries"):
+        allowance = env.rpc_retry_allowance()
+    return hops * env.max_link_delay + slack + allowance
 
 
 def check_calm_coordination_free(history: History, env: ChaosEnv,
@@ -297,6 +307,66 @@ def _static_calm_failures() -> tuple[str, ...]:
             "CALM cross-check: non-monotone vaccinate should require a "
             f"consensus log, got {covid['vaccinate'].mechanism.value}")
     return tuple(failures)
+
+
+# -- gossip byte budget -----------------------------------------------------------
+
+
+def check_gossip_byte_budget(env: ChaosEnv) -> CheckResult:
+    """Delta gossip stays O(Δ) — *during* partition storms, not just at rest.
+
+    Driven by the transport-layer metrics: :class:`~repro.storage.kvs.ShardNode`
+    ledgers every dirty-mark and every shipped gossip entry (fresh, retransmit,
+    full) into the shared :class:`~repro.cluster.metrics.MetricsRegistry`, and
+    each node's :class:`~repro.cluster.transport.Transport` tracks its queues
+    and unacked backlog.  The budget:
+
+    * **fresh delta entries ≤ dirty marks** — a non-full round may only ship
+      what actually changed; folding unacked backlog or untouched store keys
+      into fresh rounds (the cumulative-payload regression) breaks this
+      immediately, however brief the storm;
+    * **post-heal quiescence** — after the final heal + settle, no live
+      replica holds a *stale* unacked round (outstanding past the channel's
+      own retransmission grace, with nothing left to lose it) and no
+      transport still holds queued parcels: retransmission converged
+      instead of looping.  A round whose ack is legitimately in flight from
+      the final gossip tick is not stale and not flagged.
+    """
+    result = CheckResult("gossip-byte-budget")
+    kvs = env.kvs
+    if kvs is None or kvs.gossip_mode != "delta":
+        return result
+    metrics = env.network.metrics
+    fresh = metrics.counter("kvs.gossip.fresh_entries")
+    marks = metrics.counter("kvs.gossip.dirty_marks")
+    if fresh > marks:
+        result.failures.append(
+            f"O(Δ) violated: {fresh:.0f} fresh delta entries shipped for only "
+            f"{marks:.0f} dirty marks — delta rounds are shipping more than "
+            f"their Δ")
+    if env.pristine_config.drop_rate:
+        # With baseline loss the final acks may legitimately be in flight
+        # or lost at measure time; only the O(Δ) ledger applies.
+        return result
+    for replica in kvs.all_nodes():
+        if not replica.alive:
+            continue
+        stale = {}
+        for peer, channel in sorted(replica._channels.items(),
+                                    key=lambda kv: str(kv[0])):
+            stale_rounds = channel.stale_rounds()
+            if stale_rounds:
+                stale[peer] = [round_no for round_no, _ in stale_rounds]
+        if stale:
+            result.failures.append(
+                f"{replica.node_id}: stale unacked gossip rounds never "
+                f"drained after heal: {stale}")
+        queued = replica.transport.queued_parcels()
+        if queued:
+            result.failures.append(
+                f"{replica.node_id}: {queued} parcels still queued in the "
+                f"transport after quiescence")
+    return result
 
 
 # -- cart durability --------------------------------------------------------------

@@ -71,10 +71,20 @@ class ChaosEnv:
         # what the others do — the shrinker's soundness contract.
         self._latency_factors: list[float] = []
         self._drop_rates: list[float] = []
-        #: Worst link delay (base + jitter) seen at any point of the run —
-        #: latency spikes raise it.  The CALM checker's latency bound must
-        #: scale with it, not with the pristine config.
+        # Active clock skews: (node_id, offset, drift), same compose/restore
+        # discipline as the link spikes.  Slow-node factors live in the
+        # Network itself (the single owner of per-node delay state); the
+        # checker bound reads them back via ``Network.slowed_nodes``.
+        self._clock_skews: list[tuple[Hashable, float, float]] = []
+        #: Worst link delay (base + jitter, times the worst pair of
+        #: slow-node factors) seen at any point of the run — latency spikes
+        #: and slow-node faults raise it.  The CALM checker's latency bound
+        #: must scale with it, not with the pristine config.
         self.max_link_delay = self.network.config.base_delay + self.network.config.jitter
+        #: High-water mark of any node's timer drift — skewed local clocks
+        #: stretch cadences and RPC retry timers, so latency bounds scale
+        #: with it.
+        self.max_timer_drift = 1.0
         self._extra_crashable: dict[Hashable, Node] = {}
         if kvs is not None:
             self.refresh_injector()
@@ -130,6 +140,40 @@ class ChaosEnv:
         self._drop_rates.remove(drop_rate)
         self._apply_link_degradations()
 
+    def push_node_slowdown(self, node_id: Hashable, factor: float) -> None:
+        """Degrade every link touching ``node_id`` (the slow-node fault)."""
+        self.network.add_node_delay_factor(node_id, factor)
+        self._apply_link_degradations()
+
+    def pop_node_slowdown(self, node_id: Hashable, factor: float) -> None:
+        self.network.remove_node_delay_factor(node_id, factor)
+        self._apply_link_degradations()
+
+    def apply_clock_skew(self, node: Node, offset: float, drift: float) -> None:
+        """Skew ``node``'s local clock: shift its reading, stretch its timers."""
+        node.clock_offset += offset
+        node.timer_drift *= drift
+        self._clock_skews.append((node.node_id, offset, drift))
+        self.max_timer_drift = max(self.max_timer_drift, node.timer_drift)
+
+    def remove_clock_skew(self, node_id: Hashable, offset: float, drift: float) -> None:
+        if (node_id, offset, drift) not in self._clock_skews:
+            return
+        self._clock_skews.remove((node_id, offset, drift))
+        node = self.injector.nodes.get(node_id)
+        if node is not None:  # a reshard may have retired the node
+            node.clock_offset -= offset
+            node.timer_drift /= drift
+
+    def rpc_retry_allowance(self) -> float:
+        """Worst extra latency transport RPC retries can add to an op.
+
+        Scaled by the worst timer drift a clock-skew fault induced: a node
+        with a slow local clock re-arms its retry timers late.
+        """
+        return (self.network.transport_config.rpc.retry_allowance
+                * self.max_timer_drift)
+
     def _apply_link_degradations(self) -> None:
         config = self.network.config
         factor = 1.0
@@ -138,8 +182,14 @@ class ChaosEnv:
         config.base_delay = self.pristine_config.base_delay * factor
         config.jitter = self.pristine_config.jitter * factor
         config.drop_rate = max([self.pristine_config.drop_rate] + self._drop_rates)
+        # A link's delay is multiplied by the factor product of *both*
+        # endpoints; the worst pair is the two largest per-node products.
+        worst_pair = 1.0
+        for node_factor in sorted(self.network.slowed_nodes().values(),
+                                  reverse=True)[:2]:
+            worst_pair *= node_factor
         self.max_link_delay = max(self.max_link_delay,
-                                  config.base_delay + config.jitter)
+                                  (config.base_delay + config.jitter) * worst_pair)
 
     # -- global heal (the Jepsen "final reads" phase) ------------------------------
 
@@ -153,9 +203,12 @@ class ChaosEnv:
         self.network.heal_all()
         self._latency_factors.clear()
         self._drop_rates.clear()
+        self.network.clear_node_delay_factors()
         self._apply_link_degradations()
         self.network.config.duplicate_rate = self.pristine_config.duplicate_rate
         self.refresh_injector()
+        for node_id, offset, drift in list(self._clock_skews):
+            self.remove_clock_skew(node_id, offset, drift)
         for node_id in self.crashable_ids():
             node = self.injector.nodes[node_id]
             if not node.alive:
@@ -378,6 +431,89 @@ class DropSpike(Fault):
 
 
 @dataclass(frozen=True)
+class SlowNode(Fault):
+    """Degrade every link touching one node by ``factor``, then restore.
+
+    The gray-failure sibling of :class:`LatencySpike`: instead of slowing
+    the whole fabric, one straggler (picked by ``index`` into the sorted
+    registered ids at fire time) pays ``factor``× delay on all its inbound
+    and outbound links — the classic slow-disk/overloaded-VM replica that
+    stays technically alive.  Overlapping slow-node faults compose
+    multiplicatively per node (two faults on one node stack; faults on both
+    endpoints of a link multiply), and the CALM latency bound scales with
+    the worst active pair.
+    """
+
+    index: int = 0
+    duration: float = 40.0
+    factor: float = 4.0
+
+    def inject(self, env: ChaosEnv) -> None:
+        env.simulator.schedule_at(self.at, lambda: self._start(env),
+                                  label=f"nemesis slow-node-{self.index}")
+
+    def _start(self, env: ChaosEnv) -> None:
+        targets = env.partitionable_ids()
+        if not targets:
+            return
+        node_id = targets[self.index % len(targets)]
+        env.push_node_slowdown(node_id, self.factor)
+        env.log_fault(f"slow-node {node_id} x{self.factor}")
+        env.simulator.schedule(self.duration,
+                               lambda: self._restore(env, node_id),
+                               label=f"nemesis slow-node-restore-{self.index}")
+
+    def _restore(self, env: ChaosEnv, node_id: Hashable) -> None:
+        env.pop_node_slowdown(node_id, self.factor)
+        env.log_fault(f"slow-node {node_id} restored")
+
+    def window(self) -> tuple[float, float]:
+        return (self.at, self.at + self.duration)
+
+
+@dataclass(frozen=True)
+class ClockSkew(Fault):
+    """Skew one node's local clock for ``duration``, then restore.
+
+    ``offset`` shifts what the node's ``clock()`` reads; ``drift`` stretches
+    every timer the node arms while skewed (> 1 is a slow local clock firing
+    cadences late — gossip rounds, RPC retries, 2PC vote timeouts).  The
+    target is picked by ``index`` into the sorted crashable ids at fire
+    time.  Restore subtracts/divides exactly what was applied, so
+    overlapping skews on one node compose and restore independently.
+    """
+
+    index: int = 0
+    duration: float = 60.0
+    offset: float = 15.0
+    drift: float = 1.25
+
+    def inject(self, env: ChaosEnv) -> None:
+        env.simulator.schedule_at(self.at, lambda: self._start(env),
+                                  label=f"nemesis clock-skew-{self.index}")
+
+    def _start(self, env: ChaosEnv) -> None:
+        env.refresh_injector()
+        targets = env.crashable_ids()
+        if not targets:
+            return
+        node_id = targets[self.index % len(targets)]
+        env.apply_clock_skew(env.injector.nodes[node_id], self.offset, self.drift)
+        env.log_fault(f"clock-skew {node_id} offset={self.offset} drift={self.drift}")
+        env.simulator.schedule(self.duration,
+                               lambda: self._restore(env, node_id),
+                               label=f"nemesis clock-skew-restore-{self.index}")
+
+    def _restore(self, env: ChaosEnv, node_id: Hashable) -> None:
+        env.refresh_injector()
+        env.remove_clock_skew(node_id, self.offset, self.drift)
+        env.log_fault(f"clock-skew {node_id} restored")
+
+    def window(self) -> tuple[float, float]:
+        return (self.at, self.at + self.duration)
+
+
+@dataclass(frozen=True)
 class ReshardUnderFire(Fault):
     """Fire ``LatticeKVS.reshard`` while other faults are live."""
 
@@ -399,7 +535,8 @@ class ReshardUnderFire(Fault):
 FAULT_KINDS = {
     cls.__name__: cls
     for cls in (PartitionStorm, CrashReplica, DomainOutage,
-                LatencySpike, DropSpike, ReshardUnderFire)
+                LatencySpike, DropSpike, SlowNode, ClockSkew,
+                ReshardUnderFire)
 }
 
 

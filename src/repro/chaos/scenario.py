@@ -26,6 +26,7 @@ from repro.chaos.checkers import (
     check_cart_integrity,
     check_causal,
     check_convergence,
+    check_gossip_byte_budget,
     check_paxos_safety,
     check_session_guarantees,
     summarize,
@@ -152,7 +153,8 @@ def run_scenario(seed: int, schedule: Sequence[Fault],
 
     checks = [check_convergence(env),
               check_session_guarantees(history),
-              check_calm_coordination_free(history, env)]
+              check_calm_coordination_free(history, env),
+              check_gossip_byte_budget(env)]
     if "cart" in active:
         checks.append(check_cart_integrity(history, env, active["cart"]))
     if "causal" in active:

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.chaos.nemesis import (
+    ClockSkew,
     CrashReplica,
     DomainOutage,
     DropSpike,
@@ -35,6 +36,7 @@ from repro.chaos.nemesis import (
     LatencySpike,
     PartitionStorm,
     ReshardUnderFire,
+    SlowNode,
     schedule_from_dicts,
     schedule_to_dicts,
 )
@@ -51,14 +53,17 @@ def standard_schedule(reshard_to: int = 4) -> list[Fault]:
     """The default gauntlet: every nemesis primitive, overlapping in time.
 
     Covers the acceptance matrix explicitly: a multi-wave partition storm,
-    a state-losing crash, a domain-wide outage, latency and drop spikes,
-    and a reshard fired while all of it is in flight.
+    a state-losing crash, a domain-wide outage, latency and drop spikes, a
+    gray-failure slow node, a skewed clock, and a reshard fired while all
+    of it is in flight.
     """
     return [
         PartitionStorm(at=20.0, duration=40.0, waves=2, gap=15.0),
         DropSpike(at=30.0, duration=50.0, drop_rate=0.25),
         CrashReplica(at=45.0, index=1, downtime=70.0, lose_state=True),
+        SlowNode(at=50.0, index=2, duration=45.0, factor=4.0),
         ReshardUnderFire(at=60.0, new_shard_count=reshard_to),
+        ClockSkew(at=65.0, index=1, duration=50.0, offset=20.0, drift=1.25),
         CrashReplica(at=75.0, index=0, downtime=40.0, pool="all"),
         DomainOutage(at=90.0, domain="az-1", downtime=50.0),
         LatencySpike(at=110.0, duration=40.0, factor=6.0),

@@ -29,6 +29,15 @@ from repro.cluster.network import (
     WIRE_HEADER_BYTES,
     wire_size,
 )
+from repro.cluster.transport import (
+    TRANSPORT_MAILBOX,
+    AckedChannel,
+    Envelope,
+    Parcel,
+    RpcPolicy,
+    Transport,
+    TransportConfig,
+)
 from repro.cluster.node import Node
 from repro.cluster.domains import FailureDomain, Placement, Topology
 from repro.cluster.failure import CrashPlan, FailureInjector
@@ -52,4 +61,11 @@ __all__ = [
     "wire_size",
     "WIRE_HEADER_BYTES",
     "WIRE_ENTRY_BYTES",
+    "Transport",
+    "TransportConfig",
+    "Parcel",
+    "Envelope",
+    "RpcPolicy",
+    "AckedChannel",
+    "TRANSPORT_MAILBOX",
 ]

@@ -91,15 +91,33 @@ class Partition:
 
 
 class Network:
-    """Delivers messages between registered nodes with simulated asynchrony."""
+    """Delivers messages between registered nodes with simulated asynchrony.
 
-    def __init__(self, simulator: Simulator, config: NetworkConfig | None = None) -> None:
+    ``transport`` sets the default :class:`~repro.cluster.transport.TransportConfig`
+    every node's :class:`~repro.cluster.transport.Transport` inherits
+    (batching on/off, RPC policy); ``metrics`` is the shared registry the
+    transport layer writes its envelope/batching counters into.
+    """
+
+    def __init__(self, simulator: Simulator, config: NetworkConfig | None = None,
+                 transport=None, metrics=None) -> None:
+        # Imported here: transport.py sizes envelopes via this module.
+        from repro.cluster.metrics import MetricsRegistry
+        from repro.cluster.transport import TransportConfig
+
         self.simulator = simulator
         self.config = config or NetworkConfig()
+        self.transport_config = transport or TransportConfig()
+        self.metrics = metrics or MetricsRegistry()
         self._handlers: dict[Hashable, Callable[[Message], None]] = {}
         self._partitions: list[Partition] = []
         self._next_message_id = 0
         self._same_domain: dict[Hashable, Hashable] = {}
+        # Per-node delay multipliers (the slow-node fault): every active
+        # factor on either endpoint multiplies the sampled link delay.
+        # Kept as lists so overlapping faults compose and restore
+        # independently, mirroring the latency-spike contract.
+        self._node_delay_factors: dict[Hashable, list[float]] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -123,6 +141,33 @@ class Network:
     def set_domain(self, node_id: Hashable, domain: Hashable) -> None:
         """Record the failure domain of a node for locality-aware delays."""
         self._same_domain[node_id] = domain
+
+    # -- per-node link degradation (slow-node faults) ----------------------------
+
+    def add_node_delay_factor(self, node_id: Hashable, factor: float) -> None:
+        """Multiply every link touching ``node_id`` by ``factor`` until removed."""
+        self._node_delay_factors.setdefault(node_id, []).append(factor)
+
+    def remove_node_delay_factor(self, node_id: Hashable, factor: float) -> None:
+        factors = self._node_delay_factors.get(node_id)
+        if factors and factor in factors:
+            factors.remove(factor)
+            if not factors:
+                del self._node_delay_factors[node_id]
+
+    def clear_node_delay_factors(self) -> None:
+        self._node_delay_factors.clear()
+
+    def node_delay_factor(self, node_id: Hashable) -> float:
+        product = 1.0
+        for factor in self._node_delay_factors.get(node_id, ()):
+            product *= factor
+        return product
+
+    def slowed_nodes(self) -> dict[Hashable, float]:
+        """Every node with an active delay factor, with its composed product."""
+        return {node_id: self.node_delay_factor(node_id)
+                for node_id in self._node_delay_factors}
 
     # -- partitions -------------------------------------------------------------
 
@@ -156,9 +201,15 @@ class Network:
         destination: Hashable,
         mailbox: str,
         payload: Any,
-        size_bytes: int = 128,
+        size_bytes: int,
     ) -> Message:
         """Send ``payload`` to ``destination``'s ``mailbox``.
+
+        ``size_bytes`` is mandatory: bandwidth accounting is declared by the
+        sender, and silent defaults under-reported every payload that scales
+        with entries.  Protocol code should not call this directly — go
+        through a node's :class:`~repro.cluster.transport.Transport`, which
+        derives sizes from typed entry counts via :func:`wire_size`.
 
         The message is scheduled for delivery after a sampled delay unless a
         partition separates the endpoints or the drop lottery fires, in which
@@ -191,20 +242,6 @@ class Network:
             self._schedule_delivery(message)
         return message
 
-    def broadcast(
-        self,
-        source: Hashable,
-        destinations,
-        mailbox: str,
-        payload: Any,
-        size_bytes: int = 128,
-    ) -> list[Message]:
-        """Send the same payload to every destination independently."""
-        return [
-            self.send(source, destination, mailbox, payload, size_bytes)
-            for destination in destinations
-        ]
-
     # -- internals --------------------------------------------------------------
 
     def _sample_delay(self, source: Hashable, destination: Hashable) -> float:
@@ -218,7 +255,11 @@ class Network:
         ):
             base = config.same_domain_delay
         jitter = config.jitter * self.simulator.rng.random() if config.jitter else 0.0
-        return base + jitter
+        delay = base + jitter
+        if self._node_delay_factors:
+            delay *= (self.node_delay_factor(source)
+                      * self.node_delay_factor(destination))
+        return delay
 
     def _schedule_delivery(self, message: Message) -> None:
         delay = self._sample_delay(message.source, message.destination)

@@ -5,6 +5,13 @@ fragments, KVS shards, consensus participants and FaaS workers are all
 implemented as nodes (or as components owned by a node).  Nodes can crash —
 after which they ignore all traffic and timers — and recover, optionally
 losing their volatile state.
+
+Every node owns a :class:`~repro.cluster.transport.Transport` binding it to
+the network.  All outbound traffic is typed — the sender declares how many
+entries a payload carries and the transport prices it via ``wire_size`` —
+and the batched/RPC helpers (:meth:`Node.queue`, :meth:`Node.request`,
+:meth:`Node.reply`, :meth:`Node.forward`) are the substrate every protocol
+in the tree builds on.
 """
 
 from __future__ import annotations
@@ -13,10 +20,15 @@ from typing import Any, Callable, Hashable, Optional
 
 from repro.cluster.network import Message, Network
 from repro.cluster.simulator import Event, Simulator
+from repro.cluster.transport import (
+    TRANSPORT_MAILBOX,
+    RpcPolicy,
+    Transport,
+)
 
 
 class Node:
-    """A simulated machine/process with mailboxes and timers."""
+    """A simulated machine/process with mailboxes, timers and a transport."""
 
     def __init__(
         self,
@@ -30,9 +42,15 @@ class Node:
         self.network = network
         self.domain = domain
         self.alive = True
+        #: Clock-skew model: ``clock()`` reads simulated time shifted by
+        #: ``clock_offset``; timers scheduled while ``timer_drift != 1``
+        #: fire early/late by that factor (a fast/slow local clock).
+        self.clock_offset = 0.0
+        self.timer_drift = 1.0
         self._handlers: dict[str, Callable[[Message], None]] = {}
         self._timers: list[Event] = []
         self._undelivered: list[Message] = []
+        self.transport = Transport(network, node_id, owner=self)
         network.register(node_id, self._on_message)
         network.set_domain(node_id, domain)
 
@@ -52,47 +70,122 @@ class Node:
         destination: Hashable,
         mailbox: str,
         payload: Any,
-        size_bytes: int = 128,
+        entries: int = 1,
+        *,
+        size_bytes: Optional[int] = None,
     ) -> Optional[Message]:
-        """Send a message; crashed nodes send nothing."""
+        """Send one message immediately (unbatched); crashed nodes send nothing.
+
+        ``entries`` declares the payload's key/value entry count; the wire
+        cost is ``wire_size(entries)``.  ``size_bytes`` is a deprecated raw
+        override kept only as a migration path.
+        """
         if not self.alive:
             return None
-        return self.network.send(self.node_id, destination, mailbox, payload, size_bytes)
+        return self.transport.send_now(destination, mailbox, payload,
+                                       entries=entries, size_bytes=size_bytes)
 
-    def broadcast(self, destinations, mailbox: str, payload: Any, size_bytes: int = 128) -> None:
+    def broadcast(self, destinations, mailbox: str, payload: Any,
+                  entries: int = 1) -> None:
         if not self.alive:
             return
-        self.network.broadcast(self.node_id, destinations, mailbox, payload, size_bytes)
+        for destination in destinations:
+            self.transport.send_now(destination, mailbox, payload,
+                                    entries=entries)
+
+    def queue(self, destination: Hashable, mailbox: str, payload: Any,
+              entries: int = 0) -> None:
+        """Queue a typed message; same-instant sends to one peer share an
+        envelope (one ``WIRE_HEADER_BYTES``).  Crashed nodes send nothing."""
+        if not self.alive:
+            return
+        self.transport.queue(destination, mailbox, payload, entries)
+
+    def request(self, destination: Hashable, mailbox: str, payload: Any, *,
+                entries: int = 0,
+                policy: Optional[RpcPolicy] = None,
+                on_reply: Optional[Callable[[Any], None]] = None,
+                on_timeout: Optional[Callable[[], None]] = None) -> Optional[int]:
+        """Issue an RPC (timeouts, capped retries, dedup); see Transport.request."""
+        if not self.alive:
+            return None
+        return self.transport.request(destination, mailbox, payload,
+                                      entries=entries, policy=policy,
+                                      on_reply=on_reply, on_timeout=on_timeout)
+
+    def reply(self, message: Message, mailbox: str, payload: Any,
+              entries: int = 0) -> None:
+        """Answer ``message`` (RPC-aware: routes to the original requester)."""
+        if not self.alive:
+            return
+        self.transport.reply(message, mailbox, payload, entries)
+
+    def forward(self, message: Message, destination: Hashable,
+                entries: int = 0) -> None:
+        """Relay ``message`` onward, preserving its reply routing.
+
+        ``entries`` only prices the relay leg of a plain (non-RPC) message;
+        an RPC request re-ships its original typed parcel.
+        """
+        if not self.alive:
+            return
+        self.transport.forward(message, destination, entries=entries)
+
+    def dispatch(self, message: Message) -> None:
+        """Route a logical message to its mailbox handler (transport hook)."""
+        handler = self._handlers.get(message.mailbox)
+        if handler is not None:
+            handler(message)
 
     def _on_message(self, message: Message) -> None:
         if not self.alive:
             self._undelivered.append(message)
             return
-        handler = self._handlers.get(message.mailbox)
-        if handler is not None:
-            handler(message)
+        if message.mailbox == TRANSPORT_MAILBOX:
+            self.transport.deliver(message)
+            return
+        self.dispatch(message)
+
+    # -- clock ------------------------------------------------------------------
+
+    def clock(self) -> float:
+        """This node's local clock: simulated time plus any injected skew."""
+        return self.simulator.now + self.clock_offset
 
     # -- timers -----------------------------------------------------------------
 
     def set_timer(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
-        """Schedule a callback that only fires if the node is still alive."""
+        """Schedule a callback that only fires if the node is still alive.
+
+        The delay is stretched by ``timer_drift``: a node with a slow local
+        clock (drift > 1) fires its timers late, exactly how clock skew
+        perturbs cadence-based protocols (gossip, RPC retries).
+        """
 
         def guarded() -> None:
             if self.alive:
                 callback()
 
-        event = self.simulator.schedule(delay, guarded, label or f"timer@{self.node_id}")
+        event = self.simulator.schedule(delay * self.timer_drift, guarded,
+                                        label or f"timer@{self.node_id}")
         self._timers.append(event)
+        if len(self._timers) > 256:
+            # Prune spent timers (fired: time <= now; or cancelled) so a
+            # long-lived node — every RPC arms a timeout — stays O(live).
+            now = self.simulator.now
+            self._timers = [timer for timer in self._timers
+                            if not timer.cancelled and timer.time > now]
         return event
 
     # -- failure ----------------------------------------------------------------
 
     def crash(self) -> None:
-        """Crash the node: cancel timers and stop processing messages."""
+        """Crash the node: cancel timers, drop queued/pending transport state."""
         self.alive = False
         for timer in self._timers:
             timer.cancel()
         self._timers.clear()
+        self.transport.on_crash()
 
     def recover(self, lose_state: bool = False) -> None:
         """Recover a crashed node.

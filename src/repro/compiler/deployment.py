@@ -154,6 +154,19 @@ class HydroDeployment:
         return self.proxy.availability()
 
     def messages_sent(self) -> int:
+        """Logical messages sent across the deployment.
+
+        Counted at the transport layer, not the wire: per-destination
+        batching coalesces same-instant protocol messages into shared
+        envelopes, so ``network.messages_sent`` measures the batcher, while
+        protocol cost comparisons (e.g. the E2 coordination ablation) need
+        the logical count.
+        """
+        return int(self.network.metrics.counter(
+            "transport.logical_messages_sent"))
+
+    def envelopes_sent(self) -> int:
+        """Physical envelopes shipped (the wire-level message count)."""
         return self.network.messages_sent
 
     def replica_states(self):

@@ -57,7 +57,7 @@ class CausalBroadcast(Node):
         # Deliver locally first (a node's own messages are causally ordered).
         self._deliver(message)
         for peer in self.peers:
-            self.send(peer, "causal", message)
+            self.queue(peer, "causal", message, entries=1)
         return message
 
     # -- receiving ----------------------------------------------------------------

@@ -16,6 +16,13 @@ Leader failover is supported through an explicit ``campaign`` phase (phase
 1 / prepare): a replica proposes a higher ballot, collects promises carrying
 the highest accepted value per slot, and re-proposes them — enough machinery
 to exercise availability experiments without a full reconfiguration stack.
+
+All messaging rides the shared transport: ``accept`` and ``campaign`` are
+RPCs (the transport retries a lost request and the acceptor's memoized
+``accept_ack``/``promise`` is re-served on a duplicate — Paxos is already
+idempotent under both, so at-least-once delivery is free robustness), and
+same-instant traffic to one peer — e.g. a burst of proposals, or the
+re-proposals after winning a campaign — coalesces into a single envelope.
 """
 
 from __future__ import annotations
@@ -83,7 +90,7 @@ class PaxosReplica(Node):
         if on_chosen is not None:
             self._pending_callbacks[slot] = on_chosen
         for peer in self.peers:
-            self.send(peer, "accept", (self.ballot, slot, value))
+            self.request(peer, "accept", (self.ballot, slot, value), entries=1)
         self._maybe_choose(slot)
         return slot
 
@@ -95,7 +102,7 @@ class PaxosReplica(Node):
         if ballot >= self.promised_ballot:
             self.promised_ballot = ballot
             self.accepted[slot] = LogEntry(slot, value, ballot)
-            self.send(message.source, "accept_ack", (ballot, slot, self.node_id))
+            self.reply(message, "accept_ack", (ballot, slot, self.node_id))
 
     def _on_accept_ack(self, message: Message) -> None:
         ballot, slot, acker = message.payload
@@ -111,7 +118,7 @@ class PaxosReplica(Node):
             entry = self.accepted[slot]
             self._record_chosen(slot, entry.value)
             for peer in self.peers:
-                self.send(peer, "decide", (slot, entry.value))
+                self.queue(peer, "decide", (slot, entry.value), entries=1)
 
     # -- learner ----------------------------------------------------------------------
 
@@ -143,7 +150,7 @@ class PaxosReplica(Node):
         self.promised_ballot = self.ballot
         self._campaign_promises[self.ballot] = [dict(self.accepted)]
         for peer in self.peers:
-            self.send(peer, "campaign", self.ballot)
+            self.request(peer, "campaign", self.ballot)
         self._maybe_win(self.ballot)
 
     def _on_campaign(self, message: Message) -> None:
@@ -151,7 +158,8 @@ class PaxosReplica(Node):
         if ballot >= self.promised_ballot:
             self.promised_ballot = ballot
             self.is_leader = False
-            self.send(message.source, "promise", (ballot, dict(self.accepted)))
+            self.reply(message, "promise", (ballot, dict(self.accepted)),
+                       entries=len(self.accepted))
 
     def _on_promise(self, message: Message) -> None:
         ballot, accepted = message.payload
@@ -176,7 +184,8 @@ class PaxosReplica(Node):
                     self.accepted[slot] = LogEntry(slot, entry.value, ballot)
                     self._ack_counts[slot] = {self.node_id}
                     for peer in self.peers:
-                        self.send(peer, "accept", (ballot, slot, entry.value))
+                        self.request(peer, "accept", (ballot, slot, entry.value),
+                                     entries=1)
             self.next_slot = max([self.next_slot] + [slot + 1 for slot in merged])
 
 

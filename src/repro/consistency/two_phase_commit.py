@@ -17,6 +17,7 @@ from typing import Any, Callable, Hashable, Optional
 
 from repro.cluster.network import Message
 from repro.cluster.node import Node
+from repro.cluster.transport import RpcPolicy
 
 
 class TransactionOutcome(str, Enum):
@@ -56,7 +57,7 @@ class TransactionParticipant(Node):
         vote = bool(self.can_commit(payload))
         if vote:
             self.prepared[transaction_id] = payload
-        self.send(message.source, "vote", (transaction_id, self.node_id, vote))
+        self.reply(message, "vote", (transaction_id, self.node_id, vote))
 
     def _on_commit(self, message: Message) -> None:
         transaction_id = message.payload
@@ -88,8 +89,13 @@ class TransactionCoordinator(Node):
         transaction_id = next(self._ids)
         state = _TransactionState(transaction_id, payload, list(participants), on_complete=on_complete)
         self._transactions[transaction_id] = state
+        # Prepare is an RPC: a lost prepare or vote is retried once within
+        # the voting window (the participant re-serves its memoized vote on
+        # a duplicate), halving spurious timeout-aborts under message loss.
+        policy = RpcPolicy(timeout=self.vote_timeout / 2, max_attempts=2)
         for participant in participants:
-            self.send(participant, "prepare", (transaction_id, payload))
+            self.request(participant, "prepare", (transaction_id, payload),
+                         entries=1, policy=policy)
         self.set_timer(
             self.vote_timeout,
             lambda: self._on_timeout(transaction_id),
@@ -122,6 +128,6 @@ class TransactionCoordinator(Node):
         state.outcome = outcome
         mailbox = "commit" if outcome is TransactionOutcome.COMMITTED else "abort"
         for participant in state.participants:
-            self.send(participant, mailbox, state.transaction_id)
+            self.queue(participant, mailbox, state.transaction_id)
         if state.on_complete is not None:
             state.on_complete(outcome)

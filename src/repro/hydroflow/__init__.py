@@ -36,7 +36,13 @@ from repro.hydroflow.lattice_ops import (
     LatticeThresholdOperator,
     LatticeMapOperator,
 )
-from repro.hydroflow.network_ops import EgressOperator, IngressOperator
+from repro.hydroflow.network_ops import (
+    EgressOperator,
+    IngressOperator,
+    bind_egress_to_node,
+    broadcast_address,
+    hash_address,
+)
 from repro.hydroflow.reactive import ReactiveCell, ReactiveGraph
 from repro.hydroflow.scheduler import TickResult, TickScheduler
 
@@ -60,6 +66,9 @@ __all__ = [
     "LatticeMapOperator",
     "IngressOperator",
     "EgressOperator",
+    "bind_egress_to_node",
+    "broadcast_address",
+    "hash_address",
     "ReactiveCell",
     "ReactiveGraph",
     "TickScheduler",

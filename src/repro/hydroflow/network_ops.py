@@ -6,6 +6,15 @@ through these operators (§8.1): inbound messages appear at an
 items to an addressing function that decides the destination node — either
 explicit point-to-point addressing or a content-hash ("shard by key") style,
 exactly the two working models the paper sketches.
+
+Egress is bound to a hosting node's unified transport with
+:func:`bind_egress_to_node`: every routed item becomes a typed parcel (the
+operator's ``entries`` function declares its payload size) queued on the
+node's :class:`~repro.cluster.transport.Transport`, so all items a tick
+routes to one destination coalesce into a single envelope.  The scheduler's
+end-of-tick hook (see :attr:`TickScheduler.end_of_tick_hooks`) flushes the
+transport once per tick — the flow-runtime analogue of the KVS gossip
+cadence flush.
 """
 
 from __future__ import annotations
@@ -52,7 +61,10 @@ class EgressOperator(Operator):
     ``address`` maps an item to a destination node id (point-to-point) or to
     a sequence of node ids (broadcast / replication).  The actual transport
     send is performed by ``transport(destination, mailbox, payload)``, which
-    the deployment layer binds to the simulated network.
+    the deployment layer binds to the simulated network (typically via
+    :func:`bind_egress_to_node`).  ``entries`` declares how many key/value
+    units one routed item costs on the wire — an int for fixed-size items or
+    a callable for payload-dependent sizing.
     """
 
     def __init__(
@@ -61,15 +73,21 @@ class EgressOperator(Operator):
         mailbox: str,
         address: Callable[[Any], Hashable | Sequence[Hashable]],
         transport: Callable[[Hashable, str, Any], None] | None = None,
+        entries: int | Callable[[Any], int] = 1,
     ) -> None:
         super().__init__(name)
         self.mailbox = mailbox
         self.address = address
         self.transport = transport
+        self.entries = entries
         self.sent: list[tuple[Hashable, Any]] = []
 
     def bind_transport(self, transport: Callable[[Hashable, str, Any], None]) -> None:
         self.transport = transport
+
+    def entries_for(self, item: Any) -> int:
+        """The declared wire cost of one routed item, in entries."""
+        return self.entries(item) if callable(self.entries) else self.entries
 
     def process(self, port: str, batch: list[Any]) -> list[Any]:
         self.items_processed += len(batch)
@@ -85,6 +103,27 @@ class EgressOperator(Operator):
 
     def end_of_tick(self) -> None:
         self.sent = []
+
+
+def bind_egress_to_node(egress: EgressOperator, node: Any,
+                        scheduler: Any = None) -> None:
+    """Bind ``egress`` to a hosting node's unified transport.
+
+    Routed items are queued as typed parcels on ``node.transport`` — all
+    items addressed to one destination within a tick share one envelope.
+    When ``scheduler`` is given, its end-of-tick hook flushes the node's
+    transport, so a tick's egress ships exactly once per destination even
+    when the flow runs outside the simulator's event loop.
+    """
+
+    def transport(destination: Hashable, mailbox: str, item: Any) -> None:
+        node.queue(destination, mailbox, item, entries=egress.entries_for(item))
+
+    egress.bind_transport(transport)
+    if scheduler is not None:
+        flush = node.transport.flush
+        if flush not in scheduler.end_of_tick_hooks:
+            scheduler.end_of_tick_hooks.append(flush)
 
 
 def hash_address(destinations: Sequence[Hashable], key: Callable[[Any], Hashable]) -> Callable[[Any], Hashable]:

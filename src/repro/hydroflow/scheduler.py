@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 from repro.hydroflow.graph import FlowGraph, Port
 from repro.hydroflow.operators import (
@@ -72,6 +72,10 @@ class TickScheduler:
         self.graph = graph
         self.max_rounds = max_rounds
         self.tick_count = 0
+        #: Callbacks run after every operator's ``end_of_tick`` — the seam
+        #: where a hosting node's transport is flushed so the tick's egress
+        #: output ships as batched envelopes (see ``bind_egress_to_node``).
+        self.end_of_tick_hooks: list[Callable[[], None]] = []
         self._buffers: dict[Port, list[Any]] = {}
         self._strata = self._assign_strata()
         self._max_stratum = max(self._strata.values(), default=0)
@@ -166,6 +170,8 @@ class TickScheduler:
 
         for operator in self.graph.operators():
             operator.end_of_tick()
+        for hook in self.end_of_tick_hooks:
+            hook()
 
         return TickResult(
             tick=self.tick_count,

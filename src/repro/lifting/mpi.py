@@ -50,7 +50,7 @@ class MPIAgent(Node):
         self.received.append(value)
         for child in children_map.get(self.rank, ()):  # our direct children
             self.send(f"agent-{child}", "relay", {"value": value, "children": children_map},
-                      size_bytes=payload.get("size_bytes", 128))
+                      entries=payload.get("entries", 1))
 
 
 class MPICluster:
@@ -85,26 +85,31 @@ class MPICluster:
 
     # -- one-to-all -------------------------------------------------------------------
 
-    def bcast(self, value: Any, size_bytes: int = 128, algorithm: str = "naive") -> dict[str, int]:
-        """Broadcast ``value`` from rank 0 to all ranks; returns message stats."""
+    def bcast(self, value: Any, entries: int = 1, algorithm: str = "naive") -> dict[str, int]:
+        """Broadcast ``value`` from rank 0 to all ranks; returns message stats.
+
+        ``entries`` declares the payload's wire cost in key/value-sized
+        units (see ``repro.cluster.wire_size``); the transport prices every
+        hop from it.
+        """
         before = self.network.messages_sent
         root = self.agents[0]
         root.received.append(value)
         if algorithm == "naive":
             for agent in self.agents[1:]:
-                root.send(agent.node_id, "data", value, size_bytes=size_bytes)
+                root.send(agent.node_id, "data", value, entries=entries)
         elif algorithm == "tree":
             children = self._binomial_children()
             for child in children[0]:
                 root.send(f"agent-{child}", "relay",
-                          {"value": value, "children": children, "size_bytes": size_bytes},
-                          size_bytes=size_bytes)
+                          {"value": value, "children": children, "entries": entries},
+                          entries=entries)
         else:
             raise ValueError(f"unknown broadcast algorithm {algorithm!r}")
         self._settle()
         return {"messages": self.network.messages_sent - before}
 
-    def scatter(self, array: Sequence[Any], size_bytes: int = 128) -> dict[str, int]:
+    def scatter(self, array: Sequence[Any], entries: int = 1) -> dict[str, int]:
         """Partition ``array`` into chunks, one per rank."""
         before = self.network.messages_sent
         root = self.agents[0]
@@ -115,13 +120,13 @@ class MPICluster:
             if agent is root:
                 agent.received.append(chunk)
             else:
-                root.send(agent.node_id, "data", chunk, size_bytes=size_bytes)
+                root.send(agent.node_id, "data", chunk, entries=entries)
         self._settle()
         return {"messages": self.network.messages_sent - before}
 
     # -- all-to-one -------------------------------------------------------------------
 
-    def gather(self, values: Sequence[Any], size_bytes: int = 128) -> list[Any]:
+    def gather(self, values: Sequence[Any], entries: int = 1) -> list[Any]:
         """Each rank contributes values[rank]; rank 0 assembles the dense array."""
         if len(values) != self.size:
             raise ValueError("gather needs exactly one value per rank")
@@ -130,7 +135,7 @@ class MPICluster:
             if agent is root:
                 root.received.append((rank, values[rank]))
             else:
-                agent.send(root.node_id, "data", (rank, values[rank]), size_bytes=size_bytes)
+                agent.send(root.node_id, "data", (rank, values[rank]), entries=entries)
         self._settle()
         gathered = sorted(
             (item for item in root.received if isinstance(item, tuple)), key=lambda p: p[0]
@@ -138,13 +143,13 @@ class MPICluster:
         return [value for _, value in gathered]
 
     def reduce(self, values: Sequence[Any], op: Callable[[Any, Any], Any],
-               size_bytes: int = 128, algorithm: str = "naive") -> tuple[Any, dict[str, int]]:
+               entries: int = 1, algorithm: str = "naive") -> tuple[Any, dict[str, int]]:
         """Reduce values across ranks to rank 0; returns (result, stats)."""
         if len(values) != self.size:
             raise ValueError("reduce needs exactly one value per rank")
         before = self.network.messages_sent
         if algorithm == "naive":
-            gathered = self.gather(values, size_bytes=size_bytes)
+            gathered = self.gather(values, entries=entries)
             result = gathered[0]
             for value in gathered[1:]:
                 result = op(result, value)
@@ -158,7 +163,7 @@ class MPICluster:
                     if partner < self.size:
                         self.agents[partner].send(self.agents[rank].node_id, "data",
                                                   ("partial", current[partner]),
-                                                  size_bytes=size_bytes)
+                                                  entries=entries)
                         current[rank] = op(current[rank], current[partner])
                 stride *= 2
             self._settle()
@@ -170,19 +175,19 @@ class MPICluster:
 
     # -- all-to-all -------------------------------------------------------------------
 
-    def allgather(self, values: Sequence[Any], size_bytes: int = 128) -> list[list[Any]]:
+    def allgather(self, values: Sequence[Any], entries: int = 1) -> list[list[Any]]:
         """Every rank ends up with the full gathered array."""
-        gathered = self.gather(values, size_bytes=size_bytes)
-        self.bcast(gathered, size_bytes=size_bytes * self.size)
+        gathered = self.gather(values, entries=entries)
+        self.bcast(gathered, entries=entries * self.size)
         return [gathered for _ in range(self.size)]
 
     def allreduce(self, values: Sequence[Any], op: Callable[[Any, Any], Any],
-                  size_bytes: int = 128, algorithm: str = "naive") -> list[Any]:
-        result, _ = self.reduce(values, op, size_bytes=size_bytes, algorithm=algorithm)
-        self.bcast(result, size_bytes=size_bytes)
+                  entries: int = 1, algorithm: str = "naive") -> list[Any]:
+        result, _ = self.reduce(values, op, entries=entries, algorithm=algorithm)
+        self.bcast(result, entries=entries)
         return [result for _ in range(self.size)]
 
-    def alltoall(self, matrix: Sequence[Sequence[Any]], size_bytes: int = 128) -> list[list[Any]]:
+    def alltoall(self, matrix: Sequence[Sequence[Any]], entries: int = 1) -> list[list[Any]]:
         """matrix[i][j] is sent from rank i to rank j; returns the transposed exchange."""
         if len(matrix) != self.size or any(len(row) != self.size for row in matrix):
             raise ValueError("alltoall needs an n x n matrix of payloads")
@@ -193,7 +198,7 @@ class MPICluster:
                 else:
                     self.agents[sender].send(self.agents[receiver].node_id, "data",
                                              (sender, matrix[sender][receiver]),
-                                             size_bytes=size_bytes)
+                                             entries=entries)
         self._settle()
         output = []
         for receiver in range(self.size):

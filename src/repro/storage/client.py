@@ -15,6 +15,13 @@ describes:
 
 Both caches are lattice joins, so they never invent state — they only keep
 the session's observed frontier from regressing.
+
+Puts and gets are transport RPCs: a lost request or reply is retried by the
+shared :class:`~repro.cluster.transport.Transport` runtime (capped, with
+duplicate suppression replica-side), so a client session survives transient
+loss without any protocol-level machinery here.  Both operations are
+lattice-idempotent anyway — the retries are a latency optimization, never a
+correctness risk.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Hashable, Optional
 
-from repro.cluster.network import Message, WIRE_HEADER_BYTES, wire_size
+from repro.cluster.network import Message
 from repro.cluster.node import Node
 from repro.lattices.base import Lattice
 from repro.lattices.maps import MapLattice
@@ -53,9 +60,9 @@ class KVSClient(Node):
         # returned read results intact.
         self.session_writes.insert_into(key, value)
         replica = self.kvs.pick_replica(key)
-        self.send(replica.node_id, "put",
-                  {"key": key, "value": value, "request_id": request_id},
-                  size_bytes=wire_size(1))
+        self.request(replica.node_id, "put",
+                     {"key": key, "value": value, "request_id": request_id},
+                     entries=1)
         return request_id
 
     def get(self, key: Hashable,
@@ -65,8 +72,8 @@ class KVSClient(Node):
         if callback is not None:
             self.pending_gets[request_id] = callback
         replica = self.kvs.pick_replica(key)
-        self.send(replica.node_id, "get", {"key": key, "request_id": request_id},
-                  size_bytes=WIRE_HEADER_BYTES)
+        self.request(replica.node_id, "get",
+                     {"key": key, "request_id": request_id})
         return request_id
 
     # -- replies -------------------------------------------------------------------

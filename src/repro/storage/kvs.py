@@ -19,6 +19,13 @@ the README's mutation-protocol section for the ownership rules), and gossip
 ships *deltas* — only the entries that changed since the peer's last
 acknowledged round — with a periodic full-store exchange as anti-entropy
 fallback, so dropped gossip or a state-losing recovery still converges.
+
+All traffic flows through the node's :class:`~repro.cluster.transport.Transport`:
+puts and gets are transport RPCs (timeouts, capped retries, duplicate
+suppression), replication and gossip are typed batched parcels (everything a
+replica sends one peer within a gossip tick rides a single envelope), and
+per-peer ack/retransmission bookkeeping lives in an
+:class:`~repro.cluster.transport.AckedChannel` driven by the gossip cadence.
 """
 
 from __future__ import annotations
@@ -28,9 +35,10 @@ from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Optional
 
 from repro.cluster.metrics import MetricsRegistry
-from repro.cluster.network import Message, Network, WIRE_HEADER_BYTES, wire_size
+from repro.cluster.network import Message, Network
 from repro.cluster.node import Node
 from repro.cluster.simulator import Simulator
+from repro.cluster.transport import AckedChannel
 from repro.lattices.base import BOTTOM, Lattice, owns_merge_result
 from repro.storage.ring import HashRing, stable_key_bytes
 
@@ -83,20 +91,16 @@ class ShardNode(Node):
         self.gets = 0
         self._owned: set[Hashable] = set()
         # Delta-gossip bookkeeping, all keyed by peer id:
-        #   _dirty        keys changed since the last gossip sent to the peer
-        #   _unacked      outstanding rounds to the peer: round number ->
-        #                 (sent_index, keys).  Fresh dirty keys ship as a
-        #                 new round; a round older than
-        #                 RETRANSMIT_AFTER_ROUNDS without an ack is resent
-        #                 under its *original* round number (so the ack
-        #                 always matches, whatever the link RTT); and once
-        #                 MAX_OUTSTANDING_ROUNDS pile up, a full-store sync
-        #                 supersedes and clears the backlog.
-        #   _rounds_sent  how many gossip rounds went to the peer, for the
-        #                 periodic full-sync schedule
+        #   _dirty     keys changed since the last gossip sent to the peer
+        #   _channels  one AckedChannel per peer: outstanding round numbers,
+        #              the grace period before a retransmission (under the
+        #              round's *original* number, so the ack always matches
+        #              whatever the link RTT) and the saturation cap at
+        #              which a full-store sync supersedes the backlog.  The
+        #              channel's tick count doubles as the per-peer round
+        #              counter for the periodic full-sync schedule.
         self._dirty: dict[Hashable, set[Hashable]] = {}
-        self._unacked: dict[Hashable, dict[int, tuple[int, frozenset]]] = {}
-        self._rounds_sent: dict[Hashable, int] = {}
+        self._channels: dict[Hashable, AckedChannel] = {}
         self._gossip_round = 0
         self.peers: list[Hashable] = []
         self.set_peers(list(peers or []))
@@ -116,12 +120,20 @@ class ShardNode(Node):
                 # A new peer starts fully unsynced: everything we hold is
                 # dirty until gossip ships it.
                 self._dirty[peer] = set(self.store)
-                self._unacked[peer] = {}
-                self._rounds_sent[peer] = 0
+                self._channels[peer] = AckedChannel(
+                    grace=RETRANSMIT_AFTER_ROUNDS, cap=MAX_OUTSTANDING_ROUNDS)
+                if self.store:
+                    self.network.metrics.increment("kvs.gossip.dirty_marks",
+                                                   len(self.store))
         for peer in [p for p in self._dirty if p not in current]:
             del self._dirty[peer]
-            self._unacked.pop(peer, None)
-            self._rounds_sent.pop(peer, None)
+            self._channels.pop(peer, None)
+
+    @property
+    def _unacked(self) -> dict[Hashable, dict[int, tuple[int, frozenset]]]:
+        """Outstanding rounds per peer (a view over the acked channels)."""
+        return {peer: channel.pending
+                for peer, channel in self._channels.items()}
 
     # -- local operations ---------------------------------------------------------
 
@@ -162,9 +174,15 @@ class ShardNode(Node):
             else:
                 self._owned.discard(key)
         if self._dirty:
+            marks = 0
             for peer, dirty in self._dirty.items():
                 if peer != exclude:
                     dirty.add(key)
+                    marks += 1
+            if marks:
+                # The byte-budget checker's O(Δ) ledger: fresh delta rounds
+                # may never ship more entries than were dirty-marked.
+                self.network.metrics.increment("kvs.gossip.dirty_marks", marks)
         return True
 
     def value_of(self, key: Hashable) -> Optional[Lattice]:
@@ -201,21 +219,19 @@ class ShardNode(Node):
         self.puts += 1
         owners = self._misrouted(key)
         if owners is not None:
-            # Relay the whole put to a current owner, preserving the client
-            # as the source so the put_ack comes from a replica that
+            # Relay the whole put to a current owner, preserving the RPC
+            # reply routing so the put_ack comes from a replica that
             # durably stored the value — acking here and forwarding
             # best-effort could acknowledge a write every replica then
             # drops.
-            self.network.send(message.source, owners[0], "put", payload,
-                              size_bytes=wire_size(1))
+            self.forward(message, owners[0])
             return
         self.merge_local(key, value)
         for peer in self.peers:
-            self.send(peer, "replicate", {"key": key, "value": value},
-                      size_bytes=wire_size(1))
-        self.send(message.source, "put_ack",
-                  {"request_id": request_id, "replica": self.node_id},
-                  size_bytes=WIRE_HEADER_BYTES)
+            self.queue(peer, "replicate", {"key": key, "value": value},
+                       entries=1)
+        self.reply(message, "put_ack",
+                   {"request_id": request_id, "replica": self.node_id})
 
     def _on_replicate(self, message: Message) -> None:
         payload = message.payload
@@ -223,8 +239,8 @@ class ShardNode(Node):
         owners = self._misrouted(key)
         if owners is not None:
             for owner in owners:
-                self.send(owner, "replicate", {"key": key, "value": value},
-                          size_bytes=wire_size(1))
+                self.queue(owner, "replicate", {"key": key, "value": value},
+                           entries=1)
         else:
             self._merge_entry(key, value, exclude=message.source)
 
@@ -233,12 +249,12 @@ class ShardNode(Node):
         key, request_id = payload["key"], payload["request_id"]
         self.gets += 1
         value = self.value_of(key)
-        self.send(
-            message.source,
+        self.reply(
+            message,
             "get_reply",
             {"request_id": request_id, "key": key, "value": value,
              "replica": self.node_id},
-            size_bytes=wire_size(1) if value is not None else WIRE_HEADER_BYTES,
+            entries=1 if value is not None else 0,
         )
 
     # -- gossip ------------------------------------------------------------------------
@@ -263,26 +279,30 @@ class ShardNode(Node):
 
     def _send_gossip(self, peer: Hashable) -> None:
         dirty = self._dirty.setdefault(peer, set())
-        pending = self._unacked.setdefault(peer, {})
-        sent = self._rounds_sent.get(peer, 0) + 1
-        self._rounds_sent[peer] = sent
+        channel = self._channels.setdefault(
+            peer, AckedChannel(grace=RETRANSMIT_AFTER_ROUNDS,
+                               cap=MAX_OUTSTANDING_ROUNDS))
+        sent = channel.begin_tick()
         full = (
             self.gossip_mode == "snapshot"
             or sent % self.full_sync_every == 0
-            or len(pending) >= MAX_OUTSTANDING_ROUNDS
+            or channel.saturated
         )
+        metrics = self.network.metrics
         if full:
             # The whole store supersedes the outstanding backlog.
-            pending.clear()
+            channel.clear()
             dirty.clear()
-            self._ship(peer, pending, sent, dict(self.store), "full")
+            if self.store:  # an empty full sync ships (and counts) nothing
+                metrics.increment("kvs.gossip.full_rounds")
+                metrics.increment("kvs.gossip.full_entries", len(self.store))
+                self._ship(peer, channel, dict(self.store), "full")
+                self.transport.flush(peer)
             return
         # Retransmit stale unacked rounds under their original numbers with
         # the keys' current values, so the eventual ack matches no matter
         # how slow the link is.  Younger rounds just await their acks.
-        for round_no, (sent_at, keys) in list(pending.items()):
-            if sent - sent_at < RETRANSMIT_AFTER_ROUNDS:
-                continue
+        for round_no, keys in channel.stale_rounds():
             # Sorted so payload iteration order (and any per-key forwarding
             # a receiver does) is identical under every PYTHONHASHSEED —
             # set iteration order is salted and would fork the event trace.
@@ -291,22 +311,27 @@ class ShardNode(Node):
             if not entries:
                 # Every key this round carried was dropped from the store;
                 # nothing is left that needs acknowledging.
-                del pending[round_no]
+                channel.forget(round_no)
                 continue
             self._owned.difference_update(entries)
-            pending[round_no] = (sent, keys)
-            self.send(peer, "gossip",
-                      {"round": round_no, "kind": "delta", "entries": entries},
-                      size_bytes=wire_size(len(entries)))
+            channel.track(round_no, keys)
+            metrics.increment("kvs.gossip.retransmit_entries", len(entries))
+            self.queue(peer, "gossip",
+                       {"round": round_no, "kind": "delta", "entries": entries},
+                       entries=len(entries))
         # Fresh changes ship in their own new round.  Sorted for the same
         # cross-PYTHONHASHSEED determinism reason as retransmissions above.
         if dirty:
             entries = {key: self.store[key]
                        for key in sorted(dirty, key=repr) if key in self.store}
             dirty.clear()
-            self._ship(peer, pending, sent, entries, "delta")
+            metrics.increment("kvs.gossip.fresh_entries", len(entries))
+            self._ship(peer, channel, entries, "delta")
+        # The cadence flush: everything this tick queued for the peer
+        # (retransmissions + the fresh round) rides one envelope.
+        self.transport.flush(peer)
 
-    def _ship(self, peer: Hashable, pending: dict, sent: int,
+    def _ship(self, peer: Hashable, channel: AckedChannel,
               entries: dict, kind: str) -> None:
         if not entries:
             return
@@ -316,10 +341,10 @@ class ShardNode(Node):
         # ownership so they are copy-on-write from now on and the in-flight
         # message keeps reflecting state at send time.
         self._owned.difference_update(entries)
-        pending[round_no] = (sent, frozenset(entries))
-        self.send(peer, "gossip",
-                  {"round": round_no, "kind": kind, "entries": entries},
-                  size_bytes=wire_size(len(entries)))
+        channel.track(round_no, frozenset(entries))
+        self.queue(peer, "gossip",
+                   {"round": round_no, "kind": kind, "entries": entries},
+                   entries=len(entries))
 
     def _on_gossip(self, message: Message) -> None:
         payload = message.payload
@@ -330,17 +355,16 @@ class ShardNode(Node):
                 # reshard; forward them onward rather than resurrecting a
                 # dropped copy on a shard reads no longer visit.
                 for owner in owners:
-                    self.send(owner, "replicate", {"key": key, "value": value},
-                              size_bytes=wire_size(1))
+                    self.queue(owner, "replicate", {"key": key, "value": value},
+                               entries=1)
             else:
                 self._merge_entry(key, value, exclude=message.source)
-        self.send(message.source, "gossip_ack", {"round": payload["round"]},
-                  size_bytes=WIRE_HEADER_BYTES)
+        self.queue(message.source, "gossip_ack", {"round": payload["round"]})
 
     def _on_gossip_ack(self, message: Message) -> None:
-        pending = self._unacked.get(message.source)
-        if pending is not None:
-            pending.pop(message.payload["round"], None)
+        channel = self._channels.get(message.source)
+        if channel is not None:
+            channel.ack(message.payload["round"])
         # An ack for a superseded round is ignored: its keys were folded
         # into a later outstanding round, which still awaits its own ack.
 
@@ -362,9 +386,10 @@ class ShardNode(Node):
         self._owned.clear()
         for peer in self._dirty:
             self._dirty[peer] = set()
-            self._unacked[peer] = {}
-        # _rounds_sent is preserved: the periodic full-sync schedule keeps
-        # running, which is exactly what re-fills a state-losing recovery.
+            self._channels[peer].clear()
+        # Channel tick counts are preserved: the periodic full-sync schedule
+        # keeps running, which is exactly what re-fills a state-losing
+        # recovery.
 
 
 @dataclass(frozen=True)
@@ -480,8 +505,8 @@ class LatticeKVS:
         replica.merge_local(key, value)
         self.metrics.increment("kvs.puts")
         for peer_id in replica.peers:
-            self.network.send(replica.node_id, peer_id, "replicate",
-                              {"key": key, "value": value}, size_bytes=wire_size(1))
+            replica.queue(peer_id, "replicate", {"key": key, "value": value},
+                          entries=1)
 
     def get(self, key: Hashable) -> Optional[Lattice]:
         """Read ``key`` from one (possibly stale) replica."""
@@ -548,7 +573,6 @@ class LatticeKVS:
         for shard_index in range(old_shard_count):
             replicas = self.shards[shard_index]
             keys = {key for replica in replicas for key in replica.store}
-            source = next((r for r in replicas if r.alive), replicas[0])
             moved_keys: set[Hashable] = set()
             for key in sorted(keys, key=repr):
                 total += 1
@@ -572,9 +596,8 @@ class LatticeKVS:
                 for target_replica in target_replicas:
                     if target_replica is landing:
                         continue
-                    self.network.send(source.node_id, target_replica.node_id,
-                                      "replicate", {"key": key, "value": merged},
-                                      size_bytes=wire_size(1))
+                    landing.queue(target_replica.node_id, "replicate",
+                                  {"key": key, "value": merged}, entries=1)
             if moved_keys:
                 for replica in replicas:
                     replica.drop_keys(moved_keys)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.chaos import (
     ChaosConfig,
+    ClockSkew,
     CrashReplica,
     DomainOutage,
     DropSpike,
@@ -11,6 +12,7 @@ from repro.chaos import (
     Nemesis,
     PartitionStorm,
     ReshardUnderFire,
+    SlowNode,
     build_env,
     schedule_from_dicts,
     schedule_to_dicts,
@@ -152,6 +154,144 @@ class TestSpikes:
         assert env.network.config.drop_rate == config.drop_rate
 
 
+class TestSlowNode:
+    def target_of(self, env, index=0):
+        ids = env.partitionable_ids()
+        return ids[index % len(ids)]
+
+    def test_slows_only_links_touching_the_target(self):
+        env, config = build()
+        target = self.target_of(env, index=2)
+        Nemesis(env, [SlowNode(at=5.0, index=2, duration=10.0, factor=4.0)]).start()
+        env.simulator.run(until=7.0)
+        assert env.network.node_delay_factor(target) == pytest.approx(4.0)
+        others = [n for n in env.partitionable_ids() if n != target]
+        assert all(env.network.node_delay_factor(n) == 1.0 for n in others)
+        # The fabric-wide config is untouched — this is a gray failure.
+        assert env.network.config.base_delay == pytest.approx(config.base_delay)
+        env.simulator.run(until=20.0)
+        assert env.network.node_delay_factor(target) == 1.0
+
+    def test_raises_calm_bound_via_max_link_delay(self):
+        env, config = build()
+        pristine = env.max_link_delay
+        Nemesis(env, [SlowNode(at=5.0, index=0, duration=10.0, factor=4.0)]).start()
+        env.simulator.run(until=7.0)
+        assert env.max_link_delay == pytest.approx(pristine * 4)
+
+    def test_overlapping_slowdowns_compose_and_fully_restore(self):
+        env, _ = build()
+        target = self.target_of(env, index=0)
+        schedule = [SlowNode(at=5.0, index=0, duration=30.0, factor=2.0),
+                    SlowNode(at=10.0, index=0, duration=10.0, factor=3.0)]
+        Nemesis(env, schedule).start()
+        env.simulator.run(until=12.0)
+        assert env.network.node_delay_factor(target) == pytest.approx(6.0)
+        env.simulator.run(until=25.0)
+        assert env.network.node_delay_factor(target) == pytest.approx(2.0)
+        env.simulator.run(until=40.0)
+        assert env.network.node_delay_factor(target) == 1.0
+
+    def test_worst_pair_of_slow_nodes_drives_the_bound(self):
+        """Both endpoints slowed: their factors multiply on the shared link."""
+        env, config = build()
+        pristine = env.max_link_delay
+        schedule = [SlowNode(at=5.0, index=0, duration=20.0, factor=2.0),
+                    SlowNode(at=5.0, index=1, duration=20.0, factor=3.0)]
+        Nemesis(env, schedule).start()
+        env.simulator.run(until=7.0)
+        assert env.max_link_delay == pytest.approx(pristine * 6)
+
+    def test_slowed_link_actually_delays_delivery(self):
+        env, _ = build()
+        replicas = env.kvs.shards[0]
+        sender, receiver = replicas[0], replicas[1]
+        env.push_node_slowdown(receiver.node_id, 50.0)
+        arrived = []
+        receiver.on("probe", lambda msg: arrived.append(env.simulator.now))
+        start = env.simulator.now
+        sender.send(receiver.node_id, "probe", "x")
+        env.simulator.run(until=start + 200.0)
+        # base_delay 1.0 x factor 50 — far beyond the pristine worst case.
+        assert arrived and arrived[0] - start >= 50.0
+
+
+class TestClockSkew:
+    def target_node(self, env, index=0):
+        ids = env.crashable_ids()
+        return env.injector.nodes[ids[index % len(ids)]]
+
+    def test_skews_clock_and_timers_then_restores(self):
+        env, _ = build()
+        node = self.target_node(env, index=1)
+        fault = ClockSkew(at=5.0, index=1, duration=20.0, offset=15.0, drift=1.5)
+        Nemesis(env, [fault]).start()
+        env.simulator.run(until=7.0)
+        assert node.clock_offset == pytest.approx(15.0)
+        assert node.timer_drift == pytest.approx(1.5)
+        assert node.clock() == pytest.approx(env.simulator.now + 15.0)
+        assert env.max_timer_drift == pytest.approx(1.5)
+        env.simulator.run(until=30.0)
+        assert node.clock_offset == pytest.approx(0.0)
+        assert node.timer_drift == pytest.approx(1.0)
+
+    def test_drift_stretches_armed_timers(self):
+        env, _ = build()
+        node = self.target_node(env)
+        env.apply_clock_skew(node, offset=0.0, drift=2.0)
+        fired = []
+        at = env.simulator.now
+        node.set_timer(10.0, lambda: fired.append(env.simulator.now))
+        env.simulator.run(until=at + 15.0)
+        assert fired == []  # a 10-unit timer on a 2x-slow clock fires at 20
+        env.simulator.run(until=at + 25.0)
+        assert fired and fired[0] == pytest.approx(at + 20.0)
+
+    def test_overlapping_skews_compose_and_restore(self):
+        env, _ = build()
+        node = self.target_node(env)
+        schedule = [ClockSkew(at=5.0, index=0, duration=30.0, offset=10.0, drift=2.0),
+                    ClockSkew(at=10.0, index=0, duration=10.0, offset=-4.0, drift=1.5)]
+        Nemesis(env, schedule).start()
+        env.simulator.run(until=12.0)
+        assert node.clock_offset == pytest.approx(6.0)
+        assert node.timer_drift == pytest.approx(3.0)
+        env.simulator.run(until=25.0)
+        assert node.clock_offset == pytest.approx(10.0)
+        assert node.timer_drift == pytest.approx(2.0)
+        env.simulator.run(until=40.0)
+        assert node.clock_offset == pytest.approx(0.0)
+        assert node.timer_drift == pytest.approx(1.0)
+
+    def test_restore_skipped_for_node_retired_by_reshard(self):
+        env, _ = build(shards=2, replication=1)
+        # Skew a shard-1 replica, then retire the whole shard mid-window.
+        retired = list(env.kvs.shards[1])
+        index = env.crashable_ids().index(retired[0].node_id)
+        schedule = [ClockSkew(at=5.0, index=index, duration=40.0,
+                              offset=9.0, drift=2.0),
+                    ReshardUnderFire(at=10.0, new_shard_count=1)]
+        Nemesis(env, schedule).start()
+        env.simulator.run(until=60.0)
+        # The retired node keeps its (now inert) skew; nothing crashes.
+        assert retired[0].clock_offset == pytest.approx(9.0)
+
+    def test_heal_everything_unwinds_active_skews_and_slowdowns(self):
+        env, config = build()
+        node = self.target_node(env, index=1)
+        schedule = [ClockSkew(at=2.0, index=1, duration=900.0,
+                              offset=25.0, drift=1.5),
+                    SlowNode(at=2.0, index=0, duration=900.0, factor=8.0)]
+        Nemesis(env, schedule).start()
+        env.simulator.run(until=10.0)
+        assert node.timer_drift != 1.0
+        env.heal_everything()
+        assert node.clock_offset == pytest.approx(0.0)
+        assert node.timer_drift == pytest.approx(1.0)
+        assert all(env.network.node_delay_factor(n) == 1.0
+                   for n in env.partitionable_ids())
+
+
 class TestReshardUnderFire:
     def test_reshard_fires_and_refreshes_injector(self):
         env, _ = build()
@@ -211,6 +351,8 @@ class TestScheduleSerialization:
         kinds = {type(fault).__name__ for fault in schedule}
         assert "PartitionStorm" in kinds
         assert "ReshardUnderFire" in kinds
+        assert "SlowNode" in kinds
+        assert "ClockSkew" in kinds
         assert any(isinstance(fault, CrashReplica) and fault.lose_state
                    for fault in schedule)
 
