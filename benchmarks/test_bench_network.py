@@ -1,0 +1,127 @@
+"""E15 — Bytes take time: delivery latency under the link bandwidth model.
+
+The E2 ablation argues coordination cost in messages and bytes; this bench
+makes the bytes argument *temporal*.  With the per-link transmission model
+on, a full-store snapshot gossip round serializes for ``store/bandwidth``
+ticks and queues every later envelope on the link behind it, while delta
+gossip ships only the dirty keys — so the O(Δ) byte win of PR 2 becomes a
+delivery-latency win the moment bandwidth is finite.
+
+The workload: one fully-replicated shard pre-loaded with ``STORE_KEYS``
+keys, then a steady put trickle while gossip runs for several intervals.
+Measured at three bandwidth tiers (unconstrained = model off, mid,
+constrained), in both gossip modes, reporting the p50/p99 of per-message
+delivery latency (``net.delivery``, stamped by the network on every
+delivered message) to ``BENCH_network.json`` for the CI artifact trail.
+
+Asserted floors:
+
+* at the **constrained** tier, delta gossip's p99 delivery latency beats
+  snapshot gossip's by >= 2x (it is orders of magnitude in practice: the
+  snapshot link never drains its backlog);
+* at the **unconstrained** tier the two modes are within noise of each
+  other — the model off is the pre-model network, so the win is from
+  pricing bytes, not from the delta protocol being magically faster.
+"""
+
+import json
+from pathlib import Path
+
+from conftest import print_rows
+from repro.cluster import Network, NetworkConfig, Simulator
+from repro.lattices import SetUnion
+from repro.storage import LatticeKVS
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_network.json"
+
+#: Bandwidth tiers in bytes/tick (None = model off; the pre-model network).
+TIERS = (("unconstrained", None), ("mid", 4096.0), ("constrained", 512.0))
+#: Keys pre-loaded into the shard — what a snapshot round has to ship.
+STORE_KEYS = 250
+#: Puts trickled during the measurement window.
+MEASURED_PUTS = 40
+#: Gossip cadence and the number of intervals measured.
+GOSSIP_INTERVAL = 20.0
+MEASURED_INTERVALS = 15
+
+RESULTS: dict = {"tiers": []}
+
+
+def run_tier(gossip_mode: str, bandwidth) -> dict:
+    sim = Simulator(seed=11)
+    # Seed phase runs with the model off so both modes start from an
+    # identical converged store, whatever the tier under test.
+    net = Network(sim, NetworkConfig(base_delay=1.0, jitter=0.0))
+    kvs = LatticeKVS(sim, net, shard_count=1, replication_factor=3,
+                     gossip_interval=GOSSIP_INTERVAL,
+                     gossip_mode=gossip_mode, full_sync_every=50)
+    for index in range(STORE_KEYS):
+        kvs.put(f"key-{index}", SetUnion({f"seed-{index}"}))
+    kvs.settle(200.0)
+
+    # Measurement phase: price the links, clear the recorder, trickle puts.
+    # Byte/envelope counters are reported as deltas over this window, not
+    # cumulatively — the seed phase must not pollute the tier comparison.
+    net.config.bandwidth = bandwidth
+    net.record_delivery_latency = True  # the model-off tier records too
+    recorder = net.metrics.latency("net.delivery")
+    recorder.samples.clear()
+    bytes_before = net.bytes_sent
+    envelopes_before = net.messages_sent
+    start = sim.now
+    for index in range(MEASURED_PUTS):
+        fire = start + index * (GOSSIP_INTERVAL * MEASURED_INTERVALS
+                                / MEASURED_PUTS)
+        sim.schedule_at(
+            fire,
+            lambda i=index: kvs.put(f"key-{i % STORE_KEYS}",
+                                    SetUnion({f"update-{i}"})),
+            label=f"bench put-{index}")
+    sim.run(until=start + GOSSIP_INTERVAL * MEASURED_INTERVALS)
+    return {
+        "p50": round(recorder.p50, 3),
+        "p99": round(recorder.p99, 3),
+        "mean": round(recorder.mean, 3),
+        "deliveries": recorder.count,
+        "bytes_sent": net.bytes_sent - bytes_before,
+        "envelopes": net.messages_sent - envelopes_before,
+    }
+
+
+def test_delta_gossip_wins_delivery_latency_under_constrained_bandwidth():
+    p99 = {}
+    for tier_name, bandwidth in TIERS:
+        for mode in ("snapshot", "delta"):
+            measured = run_tier(mode, bandwidth)
+            measured.update({"tier": tier_name, "bandwidth": bandwidth,
+                             "mode": mode})
+            RESULTS["tiers"].append(measured)
+            p99[(tier_name, mode)] = measured["p99"]
+
+    # The acceptance floor: constrained bandwidth turns the O(Δ) byte win
+    # into a p99 delivery-latency win.
+    ratio = p99[("constrained", "snapshot")] / p99[("constrained", "delta")]
+    assert ratio >= 2.0, (
+        f"delta p99 {p99[('constrained', 'delta')]} vs snapshot p99 "
+        f"{p99[('constrained', 'snapshot')]} — only {ratio:.2f}x at the "
+        f"constrained tier")
+
+    # Control: with the model off the protocols' delivery latency is the
+    # same network (bytes are free), so any delta advantage there would
+    # mean the comparison is rigged.
+    unconstrained_gap = abs(p99[("unconstrained", "snapshot")]
+                            - p99[("unconstrained", "delta")])
+    assert unconstrained_gap <= 0.5, (
+        f"model-off p99s diverge by {unconstrained_gap}: the tier "
+        f"comparison is not isolating bandwidth")
+
+    RESULTS["p99_snapshot_over_delta_constrained"] = round(ratio, 2)
+    BENCH_PATH.write_text(json.dumps(RESULTS, indent=2) + "\n")
+
+    print_rows(
+        "E15: delivery latency, delta vs snapshot gossip x bandwidth tier",
+        ["tier", "bandwidth B/tick", "mode", "p50", "p99", "bytes"],
+        [[row["tier"], row["bandwidth"] or "inf", row["mode"], row["p50"],
+          row["p99"], f"{row['bytes_sent']:,}"]
+         for row in RESULTS["tiers"]],
+    )

@@ -25,6 +25,7 @@ from repro.chaos.checkers import (
     CheckResult,
     calm_latency_bound,
     canonicalize,
+    check_bounded_staleness,
     check_calm_coordination_free,
     check_cart_integrity,
     check_causal,
@@ -32,6 +33,7 @@ from repro.chaos.checkers import (
     check_gossip_byte_budget,
     check_paxos_safety,
     check_session_guarantees,
+    staleness_bound,
     state_digest,
     summarize,
 )
@@ -39,6 +41,7 @@ from repro.chaos.history import FAIL, INVOKED, OK, History, Op
 from repro.chaos.nemesis import (
     ChaosEnv,
     ClockSkew,
+    Congestion,
     CrashReplica,
     DomainOutage,
     DropSpike,
@@ -82,8 +85,8 @@ __all__ = [
     "History", "Op", "INVOKED", "OK", "FAIL",
     # nemesis
     "ChaosEnv", "Nemesis", "Fault", "PartitionStorm", "CrashReplica",
-    "DomainOutage", "LatencySpike", "DropSpike", "SlowNode", "ClockSkew",
-    "ReshardUnderFire",
+    "DomainOutage", "LatencySpike", "DropSpike", "Congestion", "SlowNode",
+    "ClockSkew", "ReshardUnderFire",
     "schedule_to_dicts", "schedule_from_dicts",
     # workloads
     "KVSWorkload", "CartWorkload", "CausalWorkload", "PaxosWorkload",
@@ -92,6 +95,7 @@ __all__ = [
     "CheckResult", "check_convergence", "check_session_guarantees",
     "check_causal", "check_paxos_safety", "check_calm_coordination_free",
     "check_cart_integrity", "check_gossip_byte_budget",
+    "check_bounded_staleness", "staleness_bound",
     "calm_latency_bound", "canonicalize",
     "state_digest", "summarize",
     # scenarios & sweeps

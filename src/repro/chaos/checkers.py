@@ -249,11 +249,19 @@ def calm_latency_bound(env: ChaosEnv, hops: int = 6, slack: float = 2.0) -> floa
     which no retry fired keeps the tight bound, so a monotone op that
     waits out a gossip round or a quorum in a fault-free scenario is
     still caught.
+
+    With the transmission model on, each hop additionally pays the
+    queueing model's observed worst case (serialization plus FIFO wait
+    behind earlier envelopes — ``Network.max_transmission_delay``) instead
+    of pretending bytes are free: an op stuck behind a congested full-store
+    sync is slow, not coordinating.  With the model off that term is 0.0
+    and the bound is the old flat hop estimate.
     """
     allowance = 0.0
     if env.network.metrics.counter("transport.rpc_retries"):
         allowance = env.rpc_retry_allowance()
-    return hops * env.max_link_delay + slack + allowance
+    per_hop = env.max_link_delay + env.network.max_transmission_delay
+    return hops * per_hop + slack + allowance
 
 
 def check_calm_coordination_free(history: History, env: ChaosEnv,
@@ -369,14 +377,87 @@ def check_gossip_byte_budget(env: ChaosEnv) -> CheckResult:
     return result
 
 
-# -- cart durability --------------------------------------------------------------
-
-
 def _exempt(op: Op, env: ChaosEnv) -> bool:
     """True when the acking replica later lost state: outcome indeterminate."""
     replica = op.info.get("replica")
     return any(node_id == replica and when >= op.invoked_at
                for when, node_id in env.lose_state_events)
+
+
+# -- bounded staleness ------------------------------------------------------------
+
+#: History actions that write a lattice value into the KVS.
+_KVS_WRITE_ACTIONS = frozenset({"put", "add", "remove", "seal"})
+
+
+def staleness_bound(env: ChaosEnv, full_sync_every: int,
+                    gossip_interval: float, slack: float = 2.0) -> float:
+    """Ticks within which every replica must observe an acked write.
+
+    Delta gossip usually converges within a round or two, but its hard
+    backstop is the periodic full-store anti-entropy sync: at worst a write
+    lands right after a full sync and waits ``full_sync_every`` gossip
+    rounds for the next one.  The bound is that horizon — stretched by the
+    worst timer drift a clock-skew fault induced, since a skewed replica
+    fires its gossip cadence late — plus the transport's RPC retry
+    allowance (a write's delivery to the acking replica may itself have
+    been retried) and a delivery leg priced by the worst link delay *and*
+    the queueing model's observed worst transmission (a full-store sync
+    crawling through a congested link still has to arrive).
+    """
+    sync_horizon = full_sync_every * gossip_interval * env.max_timer_drift
+    delivery = 2 * (env.max_link_delay + env.network.max_transmission_delay)
+    return sync_horizon + env.rpc_retry_allowance() + delivery + slack
+
+
+def check_bounded_staleness(history: History, env: ChaosEnv, *,
+                            full_sync_every: int, gossip_interval: float,
+                            bound: Optional[float] = None) -> CheckResult:
+    """Every replica observes a key's acked writes within the gossip bound.
+
+    Convergence alone allows all replicas to agree on a *stale* value; this
+    checker pins freshness: for every acked write, once ``bound`` ticks
+    have elapsed since both the write's completion and the final heal (the
+    staleness clock pauses while the nemesis holds links down — Jepsen's
+    heal-point convention), every current replica of the key's shard must
+    hold a value that *includes* it (lattice ``leq``, not equality).
+    Writes whose acking replica later lost volatile state are exempt, like
+    the cart checker's durability exemptions; writes whose bound has not
+    yet elapsed at check time are simply not judged.
+    """
+    result = CheckResult("bounded-staleness")
+    kvs = env.kvs
+    if kvs is None or not gossip_interval:
+        return result
+    if bound is None:
+        bound = staleness_bound(env, full_sync_every, gossip_interval)
+    heal = max((when for when, text in env.fault_log
+                if text == "heal_everything"), default=0.0)
+    now = env.simulator.now
+    expected: dict[Hashable, Lattice] = {}
+    for op in history.ops:
+        if op.action not in _KVS_WRITE_ACTIONS or not op.ok or op.value is None:
+            continue
+        if _exempt(op, env):
+            continue
+        if max(op.completed_at, heal) + bound > now:
+            continue  # the scenario has not run long enough to judge this write
+        current = expected.get(op.key)
+        expected[op.key] = op.value if current is None else current.merge(op.value)
+    for key in sorted(expected, key=repr):
+        value = expected[key]
+        for replica in kvs.replicas_for(key):
+            held = replica.store.get(key)
+            if held is None or not value.leq(held):
+                result.failures.append(
+                    f"stale replica: {replica.node_id} holds "
+                    f"{canonicalize(held)} for {key!r} beyond the "
+                    f"{bound:.0f}-tick staleness bound — acked writes "
+                    f"{canonicalize(value)} never arrived")
+    return result
+
+
+# -- cart durability --------------------------------------------------------------
 
 
 def check_cart_integrity(history: History, env: ChaosEnv,

@@ -149,6 +149,20 @@ class ChaosEnv:
         self.network.remove_node_delay_factor(node_id, factor)
         self._apply_link_degradations()
 
+    def push_bandwidth_squeeze(self, factor: float) -> None:
+        """Squeeze every link's bandwidth (the congestion fault).
+
+        The squeeze state lives in the Network (the single owner of link
+        transmission state); overlapping squeezes compose multiplicatively
+        and restore independently, like the other link degradations.  A
+        config without a bandwidth model is unaffected — bytes only take
+        time when the model prices them.
+        """
+        self.network.add_bandwidth_squeeze(factor)
+
+    def pop_bandwidth_squeeze(self, factor: float) -> None:
+        self.network.remove_bandwidth_squeeze(factor)
+
     def apply_clock_skew(self, node: Node, offset: float, drift: float) -> None:
         """Skew ``node``'s local clock: shift its reading, stretch its timers."""
         node.clock_offset += offset
@@ -204,6 +218,7 @@ class ChaosEnv:
         self._latency_factors.clear()
         self._drop_rates.clear()
         self.network.clear_node_delay_factors()
+        self.network.clear_bandwidth_squeezes()
         self._apply_link_degradations()
         self.network.config.duplicate_rate = self.pristine_config.duplicate_rate
         self.refresh_injector()
@@ -235,6 +250,11 @@ class Fault:
         return payload
 
 
+#: Partition storm flavors: a symmetric striped cut, a one-directional cut
+#: (A→B severed, B→A flowing), and a striped cut with one straddling node.
+STORM_FLAVORS = ("striped", "asymmetric", "bridge")
+
+
 @dataclass(frozen=True)
 class PartitionStorm(Fault):
     """Repeated install/heal waves of a striped two-way partition.
@@ -244,12 +264,29 @@ class PartitionStorm(Fault):
     cut along different lines), holds the cut for ``duration``, then heals.
     Striping guarantees replicas of the same shard usually land on opposite
     sides, which is the interesting cut for convergence protocols.
+
+    ``flavor`` selects the cut's shape:
+
+    * ``"striped"`` — the symmetric two-way cut above;
+    * ``"asymmetric"`` — the same stripes, but only A→B traffic is severed
+      (``Partition(oneway=True)``): acks flow while the data they
+      acknowledge cannot, the classic half-open-link failure;
+    * ``"bridge"`` — one node (rotating with ``wave + pivot``) is listed in
+      *both* groups, so it keeps connectivity to everyone while the pure
+      sides stay cut — Jepsen's bridge nemesis, the cut a naive
+      majority-reachability check never notices.
     """
 
     duration: float = 40.0
     waves: int = 1
     gap: float = 10.0
     pivot: int = 0
+    flavor: str = "striped"
+
+    def __post_init__(self) -> None:
+        if self.flavor not in STORM_FLAVORS:
+            raise ValueError(
+                f"flavor must be one of {STORM_FLAVORS}, got {self.flavor!r}")
 
     def inject(self, env: ChaosEnv) -> None:
         for wave in range(self.waves):
@@ -265,8 +302,20 @@ class PartitionStorm(Fault):
         group_b = [node_id for i, node_id in enumerate(ids) if i % 2 != offset]
         if not group_a or not group_b:
             return
-        partition = env.network.partition(group_a, group_b)
-        env.log_fault(f"partition wave {wave}: {len(group_a)}|{len(group_b)} nodes")
+        bridge = None
+        if self.flavor == "bridge" and len(ids) >= 3:
+            # Rotates deterministically over the sorted ids, so successive
+            # waves straddle the cut at different nodes.
+            bridge = ids[(wave + self.pivot) % len(ids)]
+            if bridge not in group_a:
+                group_a.append(bridge)
+            if bridge not in group_b:
+                group_b.append(bridge)
+        partition = env.network.partition(
+            group_a, group_b, oneway=self.flavor == "asymmetric")
+        detail = f" bridge={bridge}" if bridge is not None else ""
+        env.log_fault(f"partition wave {wave} ({self.flavor}): "
+                      f"{len(group_a)}|{len(group_b)} nodes{detail}")
 
         def heal() -> None:
             env.network.heal(partition)
@@ -431,6 +480,43 @@ class DropSpike(Fault):
 
 
 @dataclass(frozen=True)
+class Congestion(Fault):
+    """Squeeze every link's bandwidth by ``factor`` for ``duration``.
+
+    The transmission-model sibling of :class:`LatencySpike`: instead of
+    stretching propagation delay, it divides the configured link bandwidth,
+    so large envelopes (full-store gossip syncs, fan-out bursts) serialize
+    slowly and queue behind each other while small control traffic barely
+    notices — exactly the failure mode that distinguishes delta gossip from
+    snapshot gossip.  RNG-free and recompute-from-active like the other
+    spikes: overlapping congestions compose multiplicatively and restore
+    independently, and :class:`SlowNode` factors compose multiplicatively
+    on top (a slow node's links serialize slower still).  On a config with
+    the bandwidth model off it is a logged no-op.
+    """
+
+    duration: float = 40.0
+    factor: float = 8.0
+
+    def inject(self, env: ChaosEnv) -> None:
+        env.simulator.schedule_at(self.at, lambda: self._start(env),
+                                  label="nemesis congestion")
+
+    def _start(self, env: ChaosEnv) -> None:
+        env.push_bandwidth_squeeze(self.factor)
+        env.log_fault(f"congestion /{self.factor}")
+        env.simulator.schedule(self.duration, lambda: self._restore(env),
+                               label="nemesis congestion-restore")
+
+    def _restore(self, env: ChaosEnv) -> None:
+        env.pop_bandwidth_squeeze(self.factor)
+        env.log_fault("congestion restored")
+
+    def window(self) -> tuple[float, float]:
+        return (self.at, self.at + self.duration)
+
+
+@dataclass(frozen=True)
 class SlowNode(Fault):
     """Degrade every link touching one node by ``factor``, then restore.
 
@@ -535,7 +621,7 @@ class ReshardUnderFire(Fault):
 FAULT_KINDS = {
     cls.__name__: cls
     for cls in (PartitionStorm, CrashReplica, DomainOutage,
-                LatencySpike, DropSpike, SlowNode, ClockSkew,
+                LatencySpike, DropSpike, Congestion, SlowNode, ClockSkew,
                 ReshardUnderFire)
 }
 

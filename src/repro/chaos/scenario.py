@@ -22,6 +22,7 @@ from typing import Optional, Sequence
 
 from repro.chaos.checkers import (
     CheckResult,
+    check_bounded_staleness,
     check_calm_coordination_free,
     check_cart_integrity,
     check_causal,
@@ -58,6 +59,12 @@ class ChaosConfig:
     base_delay: float = 1.0
     jitter: float = 0.5
     drop_rate: float = 0.0
+    #: Per-link bandwidth (bytes/tick) for the transmission model.  The
+    #: chaos profile turns the model on — generously, so serialization is
+    #: negligible until a ``Congestion`` fault squeezes it — while the
+    #: Network's own default stays off.  ``None`` disables the model (the
+    #: pre-model, byte-identical network).
+    link_bandwidth: Optional[float] = 4096.0
     kvs_clients: int = 2
     kvs_keys: int = 6
     kvs_ops: int = 24
@@ -68,13 +75,15 @@ class ChaosConfig:
     paxos_replicas: int = 3
     paxos_proposals: int = 6
     #: Post-heal quiescence horizon.  Must cover ``full_sync_every`` gossip
-    #: rounds plus delivery, or a state-losing recovery cannot be healed by
+    #: rounds plus delivery (the bounded-staleness checker's judgement
+    #: horizon), or a state-losing recovery cannot be healed by
     #: anti-entropy before the convergence checker looks.
-    settle_after_heal: float = 350.0
+    settle_after_heal: float = 450.0
 
     def network_config(self) -> NetworkConfig:
         return NetworkConfig(base_delay=self.base_delay, jitter=self.jitter,
-                             drop_rate=self.drop_rate)
+                             drop_rate=self.drop_rate,
+                             bandwidth=self.link_bandwidth)
 
 
 @dataclass
@@ -154,7 +163,10 @@ def run_scenario(seed: int, schedule: Sequence[Fault],
     checks = [check_convergence(env),
               check_session_guarantees(history),
               check_calm_coordination_free(history, env),
-              check_gossip_byte_budget(env)]
+              check_gossip_byte_budget(env),
+              check_bounded_staleness(history, env,
+                                      full_sync_every=config.full_sync_every,
+                                      gossip_interval=config.gossip_interval)]
     if "cart" in active:
         checks.append(check_cart_integrity(history, env, active["cart"]))
     if "causal" in active:
@@ -176,4 +188,4 @@ def thorough_config() -> ChaosConfig:
     """A heavier profile for local soak runs."""
     return replace(ChaosConfig(), shards=3, replication=3, kvs_ops=60,
                    cart_ops=20, causal_broadcasts=10, paxos_proposals=12,
-                   settle_after_heal=500.0)
+                   settle_after_heal=600.0)

@@ -29,6 +29,7 @@ from typing import Optional, Sequence
 
 from repro.chaos.nemesis import (
     ClockSkew,
+    Congestion,
     CrashReplica,
     DomainOutage,
     DropSpike,
@@ -53,9 +54,9 @@ def standard_schedule(reshard_to: int = 4) -> list[Fault]:
     """The default gauntlet: every nemesis primitive, overlapping in time.
 
     Covers the acceptance matrix explicitly: a multi-wave partition storm,
-    a state-losing crash, a domain-wide outage, latency and drop spikes, a
-    gray-failure slow node, a skewed clock, and a reshard fired while all
-    of it is in flight.
+    a state-losing crash, a domain-wide outage, latency, drop and
+    congestion spikes, a gray-failure slow node, a skewed clock, and a
+    reshard fired while all of it is in flight.
     """
     return [
         PartitionStorm(at=20.0, duration=40.0, waves=2, gap=15.0),
@@ -66,6 +67,7 @@ def standard_schedule(reshard_to: int = 4) -> list[Fault]:
         ClockSkew(at=65.0, index=1, duration=50.0, offset=20.0, drift=1.25),
         CrashReplica(at=75.0, index=0, downtime=40.0, pool="all"),
         DomainOutage(at=90.0, domain="az-1", downtime=50.0),
+        Congestion(at=100.0, duration=45.0, factor=8.0),
         LatencySpike(at=110.0, duration=40.0, factor=6.0),
     ]
 

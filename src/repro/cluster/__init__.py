@@ -9,7 +9,8 @@ discrete-event simulator with
 * a single logical clock and an event queue (:class:`Simulator`),
 * nodes that host message handlers and timers (:class:`Node`),
 * a network with configurable per-link delay distributions, drop rates,
-  duplication and partitions (:class:`Network`),
+  duplication, partitions, and an optional bandwidth/queueing model with
+  locality-aware delay matrices (:class:`Network`, :class:`DelayMatrix`),
 * failure domains (VM / rack / AZ / region) and crash/recovery injection
   (:mod:`repro.cluster.failure`), and
 * metrics collection (latency histograms, message counts, billing units).
@@ -21,6 +22,8 @@ order, so a given seed always yields the same trace.
 
 from repro.cluster.simulator import Event, Simulator
 from repro.cluster.network import (
+    DelayMatrix,
+    LinkSpec,
     Message,
     Network,
     NetworkConfig,
@@ -48,6 +51,8 @@ __all__ = [
     "Event",
     "Network",
     "NetworkConfig",
+    "DelayMatrix",
+    "LinkSpec",
     "Message",
     "Partition",
     "Node",

@@ -6,6 +6,16 @@ later — so the network model is the heart of the distributed substrate.
 Delays are sampled from a configurable distribution, messages can be
 dropped or duplicated, and partitions can be installed and healed to test
 availability and consistency protocols.
+
+Bytes take time: when :attr:`NetworkConfig.bandwidth` (or a
+:class:`DelayMatrix` entry) prices a link, each ``(source, destination)``
+pair models a FIFO transmission queue — a message's delivery time is its
+queueing delay behind earlier messages on the same link, plus its
+serialization time (``size_bytes / bandwidth``), plus the sampled
+propagation delay.  With the model off (the default: no bandwidth
+anywhere), every code path — including the RNG draws — is exactly the
+size-blind network of earlier revisions, so existing traces stay
+byte-identical.
 """
 
 from __future__ import annotations
@@ -42,6 +52,71 @@ class Message:
     payload: Any
     sent_at: float
     message_id: int
+    #: Declared wire size; what the transmission model charges the link.
+    size_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Delay/bandwidth profile for one (source domain, destination domain)
+    pair.  ``None`` fields fall back to the :class:`NetworkConfig`
+    defaults, so a matrix may override only delay, only bandwidth, or both.
+    """
+
+    delay: Optional[float] = None
+    bandwidth: Optional[float] = None
+
+
+class DelayMatrix:
+    """A locality-aware inter-domain link matrix (IDMS-style, Wang et al.).
+
+    Generalizes the ``same_domain_delay`` fast path: instead of one
+    same/other split, every *(source domain, destination domain)* pair may
+    carry its own propagation delay and bandwidth — intra-AZ links fast and
+    fat, cross-region links slow and thin.  Lookups are exact ordered
+    pairs; ``set_link(..., symmetric=True)`` (the default) installs both
+    directions at once, and asymmetric routes (a saturated uplink, say)
+    just set each direction separately.
+    """
+
+    def __init__(self) -> None:
+        self._links: dict[tuple[Hashable, Hashable], LinkSpec] = {}
+
+    def set_link(self, source_domain: Hashable, destination_domain: Hashable,
+                 *, delay: Optional[float] = None,
+                 bandwidth: Optional[float] = None,
+                 symmetric: bool = True) -> LinkSpec:
+        spec = LinkSpec(delay=delay, bandwidth=bandwidth)
+        self._links[(source_domain, destination_domain)] = spec
+        if symmetric:
+            self._links[(destination_domain, source_domain)] = spec
+        return spec
+
+    def link(self, source_domain: Hashable,
+             destination_domain: Hashable) -> Optional[LinkSpec]:
+        return self._links.get((source_domain, destination_domain))
+
+    @classmethod
+    def uniform(cls, domains, *, intra_delay: Optional[float] = None,
+                inter_delay: Optional[float] = None,
+                intra_bandwidth: Optional[float] = None,
+                inter_bandwidth: Optional[float] = None) -> "DelayMatrix":
+        """A full matrix with one intra-domain and one inter-domain profile."""
+        matrix = cls()
+        ordered = sorted(domains, key=repr)
+        for i, domain_a in enumerate(ordered):
+            matrix.set_link(domain_a, domain_a, delay=intra_delay,
+                            bandwidth=intra_bandwidth)
+            for domain_b in ordered[i + 1:]:
+                matrix.set_link(domain_a, domain_b, delay=inter_delay,
+                                bandwidth=inter_bandwidth)
+        return matrix
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def __repr__(self) -> str:
+        return f"DelayMatrix({len(self._links)} directed links)"
 
 
 @dataclass
@@ -53,6 +128,13 @@ class NetworkConfig:
     ``duplicate_rate`` are independent Bernoulli probabilities applied per
     message.  ``same_domain_delay`` is used instead of ``base_delay`` when
     both endpoints share a failure domain (e.g. two replicas in one AZ).
+
+    ``bandwidth`` turns the transmission model on: each ``(src, dst)`` link
+    transmits at most that many bytes per tick through a FIFO queue, so a
+    message's delivery time grows with its size and with the backlog ahead
+    of it.  ``delay_matrix`` refines both delay and bandwidth per failure-
+    domain pair.  Both default to off, which keeps the pre-model network —
+    and its event traces — byte-identical.
     """
 
     base_delay: float = 1.0
@@ -60,6 +142,10 @@ class NetworkConfig:
     drop_rate: float = 0.0
     duplicate_rate: float = 0.0
     same_domain_delay: Optional[float] = None
+    #: Bytes per tick a link transmits; ``None`` means infinite (model off).
+    bandwidth: Optional[float] = None
+    #: Per-domain-pair delay/bandwidth overrides; ``None`` means none.
+    delay_matrix: Optional[DelayMatrix] = None
 
 
 @dataclass
@@ -70,13 +156,18 @@ class Partition:
 
     * a node never loses connectivity to itself (self-sends cross no cut);
     * a node listed in *both* groups is a **bridge** — it straddles the cut
-      and keeps connectivity to every node in either group (the asymmetric
+      and keeps connectivity to every node in either group (the
       "Jepsen bridge" nemesis), while the two pure sides stay separated
-      from each other.
+      from each other;
+    * ``oneway=True`` makes the cut **asymmetric**: traffic from
+      ``group_a`` to ``group_b`` is severed while the reverse direction
+      still flows — the half-open link of a misconfigured firewall or a
+      saturated uplink.
     """
 
     group_a: frozenset
     group_b: frozenset
+    oneway: bool = False
 
     def separates(self, source: Hashable, destination: Hashable) -> bool:
         if source == destination:
@@ -85,9 +176,10 @@ class Partition:
             destination in self.group_a and destination in self.group_b
         ):
             return False
-        return (source in self.group_a and destination in self.group_b) or (
-            source in self.group_b and destination in self.group_a
-        )
+        if source in self.group_a and destination in self.group_b:
+            return True
+        return (not self.oneway
+                and source in self.group_b and destination in self.group_a)
 
 
 class Network:
@@ -118,6 +210,27 @@ class Network:
         # Kept as lists so overlapping faults compose and restore
         # independently, mirroring the latency-spike contract.
         self._node_delay_factors: dict[Hashable, list[float]] = {}
+        # Transmission model state (inert while the model is off):
+        #   _link_busy_until   per-(src, dst) FIFO horizon — when the link
+        #                      finishes serializing everything enqueued so far
+        #   _bandwidth_squeezes  active congestion factors; the effective
+        #                      bandwidth is the configured one divided by
+        #                      their product (kept as a list so overlapping
+        #                      faults compose and restore independently)
+        #   _link_stats        per-link byte conservation ledger
+        self._link_busy_until: dict[tuple[Hashable, Hashable], float] = {}
+        self._bandwidth_squeezes: list[float] = []
+        self._link_stats: dict[tuple[Hashable, Hashable], dict[str, int]] = {}
+        #: (queue_wait, serialization) of the message `send` last scheduled;
+        #: the transport reads it back to ledger serialization ticks.
+        self.last_transmission: tuple[float, float] = (0.0, 0.0)
+        #: High-water mark of queue_wait + serialization observed on any
+        #: link — the CALM latency bound consumes this instead of assuming
+        #: transmission is free.
+        self.max_transmission_delay = 0.0
+        #: Opt-in for the ``net.delivery`` latency recorder while the model
+        #: is off (with the model on, every delivery is recorded).
+        self.record_delivery_latency = False
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -169,11 +282,42 @@ class Network:
         return {node_id: self.node_delay_factor(node_id)
                 for node_id in self._node_delay_factors}
 
+    # -- congestion (bandwidth squeezes) -----------------------------------------
+
+    def add_bandwidth_squeeze(self, factor: float) -> None:
+        """Divide every link's bandwidth by ``factor`` until removed.
+
+        Only meaningful while the transmission model is on; with no
+        bandwidth configured anywhere, bytes cost no time to squeeze.
+        """
+        if factor <= 0:
+            raise ValueError(f"squeeze factor must be positive, got {factor}")
+        self._bandwidth_squeezes.append(factor)
+
+    def remove_bandwidth_squeeze(self, factor: float) -> None:
+        if factor in self._bandwidth_squeezes:
+            self._bandwidth_squeezes.remove(factor)
+
+    def clear_bandwidth_squeezes(self) -> None:
+        self._bandwidth_squeezes.clear()
+
+    @property
+    def bandwidth_squeeze(self) -> float:
+        """The composed product of all active congestion factors."""
+        product = 1.0
+        for factor in self._bandwidth_squeezes:
+            product *= factor
+        return product
+
     # -- partitions -------------------------------------------------------------
 
-    def partition(self, group_a, group_b) -> Partition:
-        """Install a partition between two node groups; returns a handle."""
-        part = Partition(frozenset(group_a), frozenset(group_b))
+    def partition(self, group_a, group_b, oneway: bool = False) -> Partition:
+        """Install a partition between two node groups; returns a handle.
+
+        ``oneway=True`` severs only ``group_a`` → ``group_b`` traffic (the
+        asymmetric cut); the reverse direction keeps flowing.
+        """
+        part = Partition(frozenset(group_a), frozenset(group_b), oneway=oneway)
         self._partitions.append(part)
         return part
 
@@ -214,6 +358,8 @@ class Network:
         The message is scheduled for delivery after a sampled delay unless a
         partition separates the endpoints or the drop lottery fires, in which
         case it silently disappears (as the paper's ``send`` semantics allow).
+        With the transmission model on, delivery additionally waits out the
+        link's FIFO backlog and the message's own serialization time.
         """
         message = Message(
             source=source,
@@ -222,38 +368,100 @@ class Network:
             payload=payload,
             sent_at=self.simulator.now,
             message_id=self._next_message_id,
+            size_bytes=size_bytes,
         )
         self._next_message_id += 1
         self.messages_sent += 1
         self.bytes_sent += size_bytes
+        self.last_transmission = (0.0, 0.0)
 
         if not self.is_reachable(source, destination):
             self.messages_dropped += 1
+            if self._link_model_active():
+                stat = self._link_stat((source, destination))
+                stat["enqueued_bytes"] += size_bytes
+                stat["dropped_bytes"] += size_bytes
             return message
         if self.config.drop_rate and self.simulator.rng.random() < self.config.drop_rate:
             self.messages_dropped += 1
+            if self._link_model_active():
+                stat = self._link_stat((source, destination))
+                stat["enqueued_bytes"] += size_bytes
+                stat["dropped_bytes"] += size_bytes
             return message
 
-        self._schedule_delivery(message)
+        timing = self._schedule_delivery(message)
+        self.last_transmission = timing
+        # Message is frozen; the transmission cost rides along out-of-band
+        # (like the transport's rpc_state) so callers holding the returned
+        # message can ledger it without racing a later send.
+        object.__setattr__(message, "transmission", timing)
         if (
             self.config.duplicate_rate
             and self.simulator.rng.random() < self.config.duplicate_rate
         ):
+            # The duplicate is a real retransmission: it occupies the link
+            # (and the byte ledger) a second time.
             self._schedule_delivery(message)
         return message
 
     # -- internals --------------------------------------------------------------
 
+    def _link_model_active(self) -> bool:
+        config = self.config
+        return config.bandwidth is not None or config.delay_matrix is not None
+
+    def _link_stat(self, link: tuple[Hashable, Hashable]) -> dict[str, int]:
+        stat = self._link_stats.get(link)
+        if stat is None:
+            stat = self._link_stats[link] = {
+                "enqueued_bytes": 0, "delivered_bytes": 0, "dropped_bytes": 0}
+        return stat
+
+    def link_byte_stats(self) -> dict[tuple[Hashable, Hashable], dict[str, int]]:
+        """Per-link byte conservation ledger (copies; model-on links only).
+
+        Invariant once the simulation is idle: for every link,
+        ``enqueued_bytes == delivered_bytes + dropped_bytes``.
+        """
+        return {link: dict(stat) for link, stat in self._link_stats.items()}
+
+    def link_backlog(self, source: Hashable, destination: Hashable) -> float:
+        """Ticks until the (src, dst) link finishes its queued transmissions."""
+        busy_until = self._link_busy_until.get((source, destination), 0.0)
+        return max(0.0, busy_until - self.simulator.now)
+
+    def effective_bandwidth(self, source: Hashable,
+                            destination: Hashable) -> Optional[float]:
+        """The link's current bytes/tick after matrix overrides and
+        congestion squeezes; ``None`` when the link is unpriced."""
+        config = self.config
+        bandwidth = config.bandwidth
+        if config.delay_matrix is not None:
+            spec = config.delay_matrix.link(self._same_domain.get(source),
+                                            self._same_domain.get(destination))
+            if spec is not None and spec.bandwidth is not None:
+                bandwidth = spec.bandwidth
+        if bandwidth is None:
+            return None
+        return bandwidth / self.bandwidth_squeeze
+
     def _sample_delay(self, source: Hashable, destination: Hashable) -> float:
         config = self.config
         base = config.base_delay
+        source_domain = self._same_domain.get(source)
+        destination_domain = self._same_domain.get(destination)
         if (
             config.same_domain_delay is not None
-            and source in self._same_domain
-            and destination in self._same_domain
-            and self._same_domain[source] == self._same_domain[destination]
+            and source_domain is not None
+            and destination_domain is not None
+            and source_domain == destination_domain
         ):
             base = config.same_domain_delay
+        if config.delay_matrix is not None:
+            spec = config.delay_matrix.link(source_domain, destination_domain)
+            if spec is not None and spec.delay is not None:
+                base = spec.delay
         jitter = config.jitter * self.simulator.rng.random() if config.jitter else 0.0
         delay = base + jitter
         if self._node_delay_factors:
@@ -261,21 +469,63 @@ class Network:
                       * self.node_delay_factor(destination))
         return delay
 
-    def _schedule_delivery(self, message: Message) -> None:
+    def _transmit(self, message: Message) -> tuple[float, float]:
+        """Charge ``message`` to its link's FIFO queue.
+
+        Returns ``(queue_wait, serialization)`` in ticks — both 0.0 while
+        the model is off, so delivery times (and the event trace) match the
+        size-blind network exactly.
+        """
+        if not self._link_model_active():
+            return (0.0, 0.0)
+        link = (message.source, message.destination)
+        self._link_stat(link)["enqueued_bytes"] += message.size_bytes
+        bandwidth = self.effective_bandwidth(message.source, message.destination)
+        if bandwidth is None:
+            return (0.0, 0.0)
+        serialization = message.size_bytes / bandwidth
+        if self._node_delay_factors:
+            # A slow node's NIC serializes slowly too: the gray-failure
+            # factor composes multiplicatively with congestion squeezes.
+            serialization *= (self.node_delay_factor(message.source)
+                              * self.node_delay_factor(message.destination))
+        now = self.simulator.now
+        start = max(now, self._link_busy_until.get(link, 0.0))
+        self._link_busy_until[link] = start + serialization
+        queue_wait = start - now
+        if queue_wait + serialization > self.max_transmission_delay:
+            self.max_transmission_delay = queue_wait + serialization
+        return (queue_wait, serialization)
+
+    def _schedule_delivery(self, message: Message) -> tuple[float, float]:
+        queue_wait, serialization = self._transmit(message)
         delay = self._sample_delay(message.source, message.destination)
         self.simulator.schedule(
-            delay,
+            queue_wait + serialization + delay,
             lambda: self._deliver(message),
             label=f"deliver {message.mailbox} {message.source}->{message.destination}",
         )
+        return (queue_wait, serialization)
 
     def _deliver(self, message: Message) -> None:
+        link = (message.source, message.destination)
         if not self.is_reachable(message.source, message.destination):
             self.messages_dropped += 1
+            if self._link_model_active():
+                self._link_stat(link)["dropped_bytes"] += message.size_bytes
             return
         handler = self._handlers.get(message.destination)
         if handler is None:
             self.messages_dropped += 1
+            if self._link_model_active():
+                self._link_stat(link)["dropped_bytes"] += message.size_bytes
             return
         self.messages_delivered += 1
+        if self._link_model_active():
+            self._link_stat(link)["delivered_bytes"] += message.size_bytes
+        if self._link_model_active() or self.record_delivery_latency:
+            # Gated so a model-off soak run does not accumulate one sample
+            # per delivered message it never reads.
+            self.metrics.record_latency("net.delivery",
+                                        self.simulator.now - message.sent_at)
         handler(message)

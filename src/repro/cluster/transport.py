@@ -215,6 +215,9 @@ class Transport:
         self.logical_messages_sent = 0
         self.bytes_sent = 0
         self.header_bytes_saved = 0
+        #: Ticks this node's envelopes spent serializing onto their links
+        #: (0.0 while the network's transmission model is off).
+        self.serialization_ticks = 0.0
         #: mailbox -> {"messages": n, "entries": n, "bytes": n}
         self.mailbox_stats: dict[str, dict[str, int]] = {}
 
@@ -240,8 +243,10 @@ class Transport:
             size = size_bytes
         self._account_logical(mailbox, entries)
         self._account_envelope(size, 1)
-        return self.network.send(self.node_id, destination, mailbox, payload,
-                                 size_bytes=size)
+        message = self.network.send(self.node_id, destination, mailbox, payload,
+                                    size_bytes=size)
+        self._account_transmission(message)
+        return message
 
     def queue(self, destination: Hashable, mailbox: str, payload: Any,
               entries: int = 0, _parcel: Optional[Parcel] = None) -> None:
@@ -292,8 +297,9 @@ class Transport:
         for parcel in parcels:
             self._account_logical(parcel.mailbox, parcel.entries)
         self._account_envelope(size, len(parcels))
-        self.network.send(self.node_id, destination, TRANSPORT_MAILBOX,
-                          envelope, size_bytes=size)
+        message = self.network.send(self.node_id, destination, TRANSPORT_MAILBOX,
+                                    envelope, size_bytes=size)
+        self._account_transmission(message)
 
     def _account_logical(self, mailbox: str, entries: int) -> None:
         stats = self.mailbox_stats.setdefault(
@@ -302,6 +308,18 @@ class Transport:
         stats["entries"] += entries
         self.logical_messages_sent += 1
         self.metrics.increment("transport.logical_messages_sent")
+
+    def _account_transmission(self, message: Message) -> None:
+        """Ledger the transmission cost the network stamped on ``message``:
+        with the bandwidth model on, bytes take wall-clock time, and the
+        batching economy shows up as amortized serialization ticks (one
+        header, one queue slot) rather than just saved header bytes."""
+        queue_wait, serialization = getattr(message, "transmission", (0.0, 0.0))
+        if serialization:
+            self.serialization_ticks += serialization
+            self.metrics.increment("transport.serialization_ticks", serialization)
+        if queue_wait:
+            self.metrics.increment("transport.queue_wait_ticks", queue_wait)
 
     def _account_envelope(self, size: int, parcel_count: int) -> None:
         self.envelopes_sent += 1
@@ -419,8 +437,10 @@ class Transport:
             size = wire_size(entries)
             self._account_logical(request.mailbox, entries)
             self._account_envelope(size, 1)
-            self.network.send(request.source, destination, request.mailbox,
-                              request.payload, size_bytes=size)
+            relayed = self.network.send(request.source, destination,
+                                        request.mailbox, request.payload,
+                                        size_bytes=size)
+            self._account_transmission(relayed)
 
     # -- receiving ----------------------------------------------------------------
 

@@ -8,12 +8,14 @@ from repro.chaos import (
     build_env,
     calm_latency_bound,
     canonicalize,
+    check_bounded_staleness,
     check_calm_coordination_free,
     check_causal,
     check_convergence,
     check_gossip_byte_budget,
     check_paxos_safety,
     check_session_guarantees,
+    staleness_bound,
     state_digest,
 )
 from repro.consistency.causal import CausalMessage
@@ -238,6 +240,127 @@ class TestCanonicalDigests:
         digest = state_digest(env)
         for node in env.kvs.all_nodes():
             assert str(node.node_id) in digest
+
+
+class TestBoundedStalenessChecker:
+    """Acked writes must reach every replica within the anti-entropy bound."""
+
+    GOSSIP = dict(full_sync_every=2, gossip_interval=5.0)
+
+    def acked_put(self, env, history, key, value, at=1.0):
+        replica = env.kvs.pick_replica(key)
+        replica.merge_local(key, value)
+        for peer in replica.peers:
+            replica.queue(peer, "replicate", {"key": key, "value": value},
+                          entries=1)
+        op = history.invoke("c1", "put", key, value, at=at)
+        history.complete(op, at=at + 1.0, replica=replica.node_id)
+        return op
+
+    def settle_past_bound(self, env):
+        bound = staleness_bound(env, **self.GOSSIP)
+        env.simulator.run(until=env.simulator.now + bound + 50.0)
+        return bound
+
+    def test_converged_writes_pass(self):
+        env = env_with(gossip_interval=5.0, full_sync_every=2)
+        history = History()
+        for i in range(6):
+            self.acked_put(env, history, f"k-{i}", SetUnion({i}))
+        self.settle_past_bound(env)
+        result = check_bounded_staleness(history, env, **self.GOSSIP)
+        assert result.ok, result.failures
+
+    def test_flags_replica_that_never_observed_an_acked_write(self):
+        env = env_with(gossip_interval=5.0, full_sync_every=2)
+        history = History()
+        op = self.acked_put(env, history, "k", SetUnion({"v"}))
+        self.settle_past_bound(env)
+        # Simulate a replica the write never reached (a silently dropped
+        # delta that anti-entropy also failed to heal).
+        stale = env.kvs.replicas_for("k")[1]
+        stale.store.pop("k", None)
+        result = check_bounded_staleness(history, env, **self.GOSSIP)
+        assert any("stale replica" in f and str(stale.node_id) in f
+                   for f in result.failures)
+
+    def test_flags_replica_holding_only_an_older_value(self):
+        """Agreement on a stale value is exactly what convergence checking
+        alone cannot catch: the replica holds *something*, just not the
+        acked write."""
+        env = env_with(gossip_interval=5.0, full_sync_every=2)
+        history = History()
+        self.acked_put(env, history, "k", SetUnion({"old"}))
+        self.acked_put(env, history, "k", SetUnion({"new"}), at=2.0)
+        self.settle_past_bound(env)
+        stale = env.kvs.replicas_for("k")[1]
+        stale.store["k"] = SetUnion({"old"})
+        result = check_bounded_staleness(history, env, **self.GOSSIP)
+        assert any("stale replica" in f for f in result.failures)
+
+    def test_unelapsed_bound_is_not_judged(self):
+        """A write younger than the bound may legitimately still be in
+        flight — the checker must not flag it."""
+        env = env_with(gossip_interval=5.0, full_sync_every=2)
+        history = History()
+        self.acked_put(env, history, "k", SetUnion({"v"}),
+                       at=env.simulator.now)
+        env.kvs.replicas_for("k")[1].store.pop("k", None)
+        # No settle: now is still within the bound of the write.
+        result = check_bounded_staleness(history, env, **self.GOSSIP)
+        assert result.ok
+
+    def test_staleness_clock_pauses_until_the_final_heal(self):
+        """An old write is only due `bound` ticks after heal_everything —
+        the nemesis may have held the links down the whole time before."""
+        env = env_with(gossip_interval=5.0, full_sync_every=2)
+        history = History()
+        self.acked_put(env, history, "k", SetUnion({"v"}))
+        self.settle_past_bound(env)
+        env.kvs.replicas_for("k")[1].store.pop("k", None)
+        assert not check_bounded_staleness(history, env, **self.GOSSIP).ok
+        # Now register a heal point at the current instant: the write's
+        # staleness clock restarts, so it is no longer judgeable.
+        env.log_fault("heal_everything")
+        assert check_bounded_staleness(history, env, **self.GOSSIP).ok
+
+    def test_lose_state_exemption(self):
+        """A write acked by a replica that later lost volatile state is
+        indeterminate — exempted exactly like the cart checker does."""
+        env = env_with(gossip_interval=5.0, full_sync_every=2)
+        history = History()
+        op = self.acked_put(env, history, "k", SetUnion({"v"}))
+        env.lose_state_events.append((op.invoked_at + 1.0,
+                                      op.info["replica"]))
+        self.settle_past_bound(env)
+        for replica in env.kvs.replicas_for("k"):
+            replica.store.pop("k", None)
+        assert check_bounded_staleness(history, env, **self.GOSSIP).ok
+
+    def test_unacked_writes_are_indeterminate(self):
+        env = env_with(gossip_interval=5.0, full_sync_every=2)
+        history = History()
+        history.invoke("c1", "put", "k", SetUnion({"v"}), at=1.0)  # never acked
+        self.settle_past_bound(env)
+        assert check_bounded_staleness(history, env, **self.GOSSIP).ok
+
+    def test_bound_scales_with_drift_and_transmission(self):
+        env = env_with(gossip_interval=5.0, full_sync_every=2)
+        tight = staleness_bound(env, **self.GOSSIP)
+        env.max_timer_drift = 2.0
+        drifted = staleness_bound(env, **self.GOSSIP)
+        assert drifted > tight
+        env.network.max_transmission_delay = 25.0
+        assert staleness_bound(env, **self.GOSSIP) == pytest.approx(
+            drifted + 50.0)
+
+    def test_gossipless_cluster_is_not_judged(self):
+        env = env_with(gossip_interval=5.0, full_sync_every=2)
+        history = History()
+        self.acked_put(env, history, "k", SetUnion({"v"}))
+        result = check_bounded_staleness(history, env, full_sync_every=2,
+                                         gossip_interval=None)
+        assert result.ok
 
 
 class TestGossipByteBudgetChecker:

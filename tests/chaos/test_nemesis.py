@@ -5,6 +5,7 @@ import pytest
 from repro.chaos import (
     ChaosConfig,
     ClockSkew,
+    Congestion,
     CrashReplica,
     DomainOutage,
     DropSpike,
@@ -60,6 +61,166 @@ class TestPartitionStorm:
         # The stripe split puts adjacent sorted ids on opposite sides.
         assert not env.network.is_reachable(replicas[0].node_id,
                                             replicas[1].node_id)
+
+
+class TestPartitionStormFlavors:
+    def wave_partition(self, flavor, seed=1, until=6.0):
+        env, _ = build(seed)
+        storm = PartitionStorm(at=5.0, duration=20.0, flavor=flavor)
+        Nemesis(env, [storm]).start()
+        env.simulator.run(until=until)
+        (partition,) = env.network._partitions
+        return env, partition
+
+    def test_unknown_flavor_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionStorm(at=1.0, flavor="diagonal")
+
+    def test_asymmetric_flavor_cuts_one_direction_only(self):
+        env, partition = self.wave_partition("asymmetric")
+        assert partition.oneway
+        a_side = sorted(partition.group_a, key=str)[0]
+        b_side = sorted(partition.group_b, key=str)[0]
+        assert not env.network.is_reachable(a_side, b_side)
+        assert env.network.is_reachable(b_side, a_side)
+
+    def test_bridge_flavor_keeps_one_node_connected_to_both_sides(self):
+        env, partition = self.wave_partition("bridge")
+        bridge = partition.group_a & partition.group_b
+        assert len(bridge) == 1
+        (bridge_id,) = bridge
+        pure_a = sorted(partition.group_a - bridge, key=str)[0]
+        pure_b = sorted(partition.group_b - bridge, key=str)[0]
+        assert not env.network.is_reachable(pure_a, pure_b)
+        assert env.network.is_reachable(pure_a, bridge_id)
+        assert env.network.is_reachable(bridge_id, pure_b)
+        assert env.network.is_reachable(pure_b, bridge_id)
+
+    def test_striped_flavor_unchanged_and_symmetric(self):
+        env, partition = self.wave_partition("striped")
+        assert not partition.oneway
+        assert not (partition.group_a & partition.group_b)
+
+    def test_flavored_waves_heal_and_reheal_idempotently(self):
+        """Every flavor's wave heals on schedule; re-healing the same
+        handle (heal_everything after the wave healed itself) is a no-op
+        and leaves the fabric fully connected."""
+        for flavor in ("striped", "asymmetric", "bridge"):
+            env, _ = build()
+            storm = PartitionStorm(at=5.0, duration=10.0, waves=2, gap=5.0,
+                                   flavor=flavor)
+            Nemesis(env, [storm]).start()
+            env.simulator.run(until=40.0)
+            assert env.network._partitions == []
+            env.heal_everything()
+            ids = env.partitionable_ids()
+            assert all(env.network.is_reachable(x, y)
+                       for x in ids for y in ids), flavor
+
+    def test_flavored_storms_are_trace_deterministic(self):
+        """Same seed + same flavored schedule => byte-identical event
+        traces — group and bridge picks derive from sorted ids only."""
+        from repro.chaos import fast_config, run_scenario, state_digest
+
+        def digest(flavor):
+            schedule = [PartitionStorm(at=20.0, duration=30.0, waves=2,
+                                       gap=10.0, flavor=flavor)]
+            result = run_scenario(7, schedule, config=fast_config(),
+                                  trace=True)
+            trace = "\n".join(f"{t:.9f} {label}"
+                              for t, label in result.env.simulator.trace)
+            return trace + "\n" + state_digest(result.env)
+
+        for flavor in ("asymmetric", "bridge"):
+            assert digest(flavor) == digest(flavor), flavor
+
+    def test_bridge_rotates_across_waves(self):
+        env, _ = build()
+        storm = PartitionStorm(at=5.0, duration=10.0, waves=2, gap=5.0,
+                               flavor="bridge")
+        Nemesis(env, [storm]).start()
+        env.simulator.run(until=6.0)
+        (first,) = env.network._partitions
+        first_bridge = first.group_a & first.group_b
+        env.simulator.run(until=21.0)
+        (second,) = env.network._partitions
+        assert (second.group_a & second.group_b) != first_bridge
+
+
+class TestCongestion:
+    def build_priced(self, seed=1, bandwidth=1000.0):
+        env, config = build(seed, link_bandwidth=bandwidth)
+        return env, config
+
+    def test_squeezes_bandwidth_then_restores(self):
+        env, _ = self.build_priced()
+        Nemesis(env, [Congestion(at=5.0, duration=10.0, factor=8.0)]).start()
+        replicas = env.kvs.shards[0]
+        link = (replicas[0].node_id, replicas[1].node_id)
+        env.simulator.run(until=7.0)
+        assert env.network.effective_bandwidth(*link) == pytest.approx(125.0)
+        env.simulator.run(until=20.0)
+        assert env.network.effective_bandwidth(*link) == pytest.approx(1000.0)
+
+    def test_overlapping_congestions_compose_and_fully_restore(self):
+        env, _ = self.build_priced()
+        schedule = [Congestion(at=10.0, duration=40.0, factor=4.0),
+                    Congestion(at=30.0, duration=40.0, factor=4.0)]
+        Nemesis(env, schedule).start()
+        link = tuple(r.node_id for r in env.kvs.shards[0][:2])
+        env.simulator.run(until=35.0)
+        assert env.network.effective_bandwidth(*link) == pytest.approx(1000.0 / 16)
+        env.simulator.run(until=55.0)
+        assert env.network.effective_bandwidth(*link) == pytest.approx(1000.0 / 4)
+        env.simulator.run(until=80.0)
+        assert env.network.effective_bandwidth(*link) == pytest.approx(1000.0)
+
+    def test_congestion_actually_delays_large_envelopes(self):
+        env, _ = self.build_priced(bandwidth=200.0)
+        replicas = env.kvs.shards[0]
+        sender, receiver = replicas[0], replicas[1]
+        arrivals = []
+        receiver.on("probe", lambda msg: arrivals.append(env.simulator.now))
+        Nemesis(env, [Congestion(at=0.0, duration=100.0, factor=10.0)]).start()
+        env.simulator.run(until=1.0)
+        start = env.simulator.now
+        sender.send(receiver.node_id, "probe", "x", entries=10)
+        env.simulator.run(until=start + 200.0)
+        # wire_size(10)=984 B at 20 B/tick -> ~49 ticks serialization.
+        assert arrivals and arrivals[0] - start >= 40.0
+
+    def test_slow_node_composes_multiplicatively_with_congestion(self):
+        env, _ = self.build_priced(bandwidth=200.0)
+        replicas = env.kvs.shards[0]
+        sender, receiver = replicas[0], replicas[1]
+        env.push_bandwidth_squeeze(5.0)
+        env.push_node_slowdown(receiver.node_id, 3.0)
+        env.network.send(sender.node_id, receiver.node_id, "probe", "x",
+                         size_bytes=400)
+        queue_wait, serialization = env.network.last_transmission
+        # 400 B at (200/5) B/tick, times the endpoint factor 3.
+        assert serialization == pytest.approx(400 / 40.0 * 3.0)
+
+    def test_heal_everything_clears_squeezes(self):
+        env, _ = self.build_priced()
+        Nemesis(env, [Congestion(at=1.0, duration=900.0, factor=16.0)]).start()
+        env.simulator.run(until=5.0)
+        assert env.network.bandwidth_squeeze == pytest.approx(16.0)
+        env.heal_everything()
+        assert env.network.bandwidth_squeeze == pytest.approx(1.0)
+
+    def test_noop_without_a_bandwidth_model(self):
+        env, _ = build(link_bandwidth=None)
+        Nemesis(env, [Congestion(at=1.0, duration=20.0, factor=8.0)]).start()
+        replicas = env.kvs.shards[0]
+        arrivals = []
+        replicas[1].on("probe", lambda msg: arrivals.append(env.simulator.now))
+        env.simulator.run(until=5.0)
+        start = env.simulator.now
+        replicas[0].send(replicas[1].node_id, "probe", "x", entries=100)
+        env.simulator.run(until=start + 50.0)
+        # Unpriced bytes take no time: only base delay + jitter.
+        assert arrivals and arrivals[0] - start <= 1.5
 
 
 class TestCrashReplica:

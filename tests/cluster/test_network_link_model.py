@@ -1,0 +1,320 @@
+"""The per-link transmission model: bytes take time.
+
+Pins the tentpole's contract from both sides:
+
+* **model on** — serialization time scales with declared wire size, a link
+  is a FIFO queue (delivery time grows with backlog, order is preserved
+  under congestion), the delay matrix refines delay/bandwidth per failure-
+  domain pair, congestion squeezes compose, and every byte enqueued on a
+  link is eventually accounted delivered or dropped (conservation);
+* **model off** (the default config) — the network is the pre-model,
+  size-blind network: identical RNG consumption, identical delivery times,
+  and event traces byte-identical across ``PYTHONHASHSEED`` values.
+"""
+
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import (
+    DelayMatrix,
+    Network,
+    NetworkConfig,
+    Node,
+    Simulator,
+    wire_size,
+)
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def build(config, nodes=("a", "b", "c")):
+    sim = Simulator(seed=1)
+    net = Network(sim, config)
+    arrivals = []
+    built = {}
+    for name in nodes:
+        node = Node(name, sim, net)
+        node.on("inbox", lambda msg, name=name: arrivals.append(
+            (name, msg.payload, sim.now)))
+        built[name] = node
+    return sim, net, built, arrivals
+
+
+class TestSerializationTime:
+    def test_bigger_envelope_on_a_link_lands_strictly_later(self):
+        """Two envelopes sent the same instant: the 10-entry one pays 10x
+        the serialization of the 1-entry one (disjoint links isolate the
+        size effect from queueing)."""
+        sim, net, nodes, arrivals = build(
+            NetworkConfig(base_delay=1.0, jitter=0.0, bandwidth=100.0))
+        nodes["a"].send("b", "inbox", "small", entries=1)
+        nodes["a"].send("c", "inbox", "large", entries=10)
+        sim.run_until_idle()
+        times = {payload: at for _, payload, at in arrivals}
+        assert times["small"] == pytest.approx(1.0 + wire_size(1) / 100.0)
+        assert times["large"] == pytest.approx(1.0 + wire_size(10) / 100.0)
+        assert times["small"] < times["large"]
+
+    def test_back_to_back_envelopes_queue_fifo(self):
+        """Same-instant sends on one link serialize one after another:
+        delivery time grows linearly with the backlog ahead."""
+        sim, net, nodes, arrivals = build(
+            NetworkConfig(base_delay=1.0, jitter=0.0, bandwidth=100.0))
+        for i in range(4):
+            nodes["a"].send("b", "inbox", i, entries=1)
+        sim.run_until_idle()
+        serialization = wire_size(1) / 100.0
+        assert [payload for _, payload, _ in arrivals] == [0, 1, 2, 3]
+        for i, (_, _, at) in enumerate(arrivals):
+            assert at == pytest.approx(1.0 + (i + 1) * serialization)
+
+    def test_fifo_order_survives_mixed_sizes_under_congestion(self):
+        """A large envelope ahead of small ones delays them behind it —
+        the queue never reorders, whatever the sizes."""
+        sim, net, nodes, arrivals = build(
+            NetworkConfig(base_delay=1.0, jitter=0.0, bandwidth=50.0))
+        net.add_bandwidth_squeeze(4.0)  # effective 12.5 B/tick
+        nodes["a"].send("b", "inbox", "big", entries=20)
+        nodes["a"].send("b", "inbox", "tiny", entries=0)
+        nodes["a"].send("b", "inbox", "mid", entries=3)
+        sim.run_until_idle()
+        assert [payload for _, payload, _ in arrivals] == ["big", "tiny", "mid"]
+        big_at = arrivals[0][2]
+        assert big_at == pytest.approx(1.0 + wire_size(20) / 12.5)
+        assert arrivals[1][2] > big_at  # queued strictly behind
+
+    def test_link_queues_are_independent_per_src_dst_pair(self):
+        sim, net, nodes, arrivals = build(
+            NetworkConfig(base_delay=1.0, jitter=0.0, bandwidth=10.0))
+        nodes["a"].send("b", "inbox", "slow-link", entries=10)
+        nodes["c"].send("b", "inbox", "other-link", entries=1)
+        sim.run_until_idle()
+        times = {payload: at for _, payload, at in arrivals}
+        # c->b does not wait behind a->b's 98.4-tick transmission.
+        assert times["other-link"] == pytest.approx(1.0 + wire_size(1) / 10.0)
+
+    def test_backlog_drains_at_link_rate(self):
+        sim, net, nodes, _ = build(
+            NetworkConfig(base_delay=1.0, jitter=0.0, bandwidth=100.0))
+        nodes["a"].send("b", "inbox", "x", entries=10)
+        assert net.link_backlog("a", "b") == pytest.approx(wire_size(10) / 100.0)
+        assert net.link_backlog("a", "c") == 0.0
+        sim.run_until_idle()
+        assert net.link_backlog("a", "b") == 0.0
+
+    def test_max_transmission_delay_high_water(self):
+        sim, net, nodes, _ = build(
+            NetworkConfig(base_delay=1.0, jitter=0.0, bandwidth=100.0))
+        assert net.max_transmission_delay == 0.0
+        nodes["a"].send("b", "inbox", "x", entries=5)
+        nodes["a"].send("b", "inbox", "y", entries=5)  # queues behind x
+        serialization = wire_size(5) / 100.0
+        assert net.max_transmission_delay == pytest.approx(2 * serialization)
+
+
+class TestCongestionAndSlowNodes:
+    def test_squeezes_compose_multiplicatively_and_restore(self):
+        sim, net, nodes, arrivals = build(
+            NetworkConfig(base_delay=1.0, jitter=0.0, bandwidth=100.0))
+        net.add_bandwidth_squeeze(2.0)
+        net.add_bandwidth_squeeze(3.0)
+        assert net.effective_bandwidth("a", "b") == pytest.approx(100.0 / 6.0)
+        net.remove_bandwidth_squeeze(2.0)
+        assert net.effective_bandwidth("a", "b") == pytest.approx(100.0 / 3.0)
+        net.clear_bandwidth_squeezes()
+        assert net.effective_bandwidth("a", "b") == pytest.approx(100.0)
+
+    def test_slow_node_multiplies_serialization_too(self):
+        """A gray-failure node's NIC serializes slowly: SlowNode factors
+        compose multiplicatively with the bandwidth model."""
+        sim, net, nodes, arrivals = build(
+            NetworkConfig(base_delay=1.0, jitter=0.0, bandwidth=100.0))
+        net.add_node_delay_factor("b", 4.0)
+        nodes["a"].send("b", "inbox", "x", entries=1)
+        sim.run_until_idle()
+        # Propagation 1.0 x 4 plus serialization 1.2 x 4.
+        assert arrivals[0][2] == pytest.approx(4.0 * (1.0 + wire_size(1) / 100.0))
+
+    def test_invalid_squeeze_rejected(self):
+        sim, net, nodes, _ = build(NetworkConfig(bandwidth=100.0))
+        with pytest.raises(ValueError):
+            net.add_bandwidth_squeeze(0.0)
+
+
+class TestDelayMatrix:
+    def config(self):
+        matrix = DelayMatrix()
+        matrix.set_link("az-a", "az-a", delay=0.5, bandwidth=1000.0)
+        matrix.set_link("az-a", "az-b", delay=10.0, bandwidth=100.0)
+        return NetworkConfig(base_delay=2.0, jitter=0.0, bandwidth=500.0,
+                             delay_matrix=matrix)
+
+    def build_domains(self):
+        sim = Simulator(seed=1)
+        net = Network(sim, self.config())
+        arrivals = []
+        for name, domain in (("a1", "az-a"), ("a2", "az-a"), ("b1", "az-b"),
+                             ("c1", "az-c")):
+            node = Node(name, sim, net, domain=domain)
+            node.on("inbox", lambda msg, name=name: arrivals.append(
+                (name, msg.payload, sim.now)))
+        return sim, net, arrivals
+
+    def test_intra_domain_fast_path_and_inter_domain_rtt(self):
+        sim, net, arrivals = self.build_domains()
+        net.send("a1", "a2", "inbox", "intra", size_bytes=1000)
+        net.send("a1", "b1", "inbox", "inter", size_bytes=1000)
+        sim.run_until_idle()
+        times = {payload: at for _, payload, at in arrivals}
+        assert times["intra"] == pytest.approx(0.5 + 1000 / 1000.0)
+        assert times["inter"] == pytest.approx(10.0 + 1000 / 100.0)
+
+    def test_unlisted_pair_falls_back_to_config_defaults(self):
+        sim, net, arrivals = self.build_domains()
+        net.send("a1", "c1", "inbox", "default", size_bytes=1000)
+        sim.run_until_idle()
+        assert arrivals[0][2] == pytest.approx(2.0 + 1000 / 500.0)
+
+    def test_symmetric_set_link_installs_both_directions(self):
+        matrix = DelayMatrix()
+        matrix.set_link("x", "y", delay=7.0)
+        assert matrix.link("y", "x").delay == 7.0
+        matrix.set_link("p", "q", delay=3.0, symmetric=False)
+        assert matrix.link("q", "p") is None
+
+    def test_uniform_matrix_covers_all_pairs(self):
+        matrix = DelayMatrix.uniform(["az-a", "az-b", "az-c"],
+                                     intra_delay=0.5, inter_delay=8.0,
+                                     inter_bandwidth=64.0)
+        assert matrix.link("az-b", "az-b").delay == 0.5
+        assert matrix.link("az-a", "az-c").delay == 8.0
+        assert matrix.link("az-c", "az-a").bandwidth == 64.0
+
+    def test_matrix_only_config_prices_no_serialization(self):
+        """A matrix that only refines delay leaves unlisted-bandwidth links
+        unpriced: delivery pays the matrix delay but no serialization."""
+        matrix = DelayMatrix()
+        matrix.set_link("az-a", "az-b", delay=5.0)
+        sim = Simulator(seed=1)
+        net = Network(sim, NetworkConfig(base_delay=1.0, jitter=0.0,
+                                         delay_matrix=matrix))
+        arrivals = []
+        a = Node("a", sim, net, domain="az-a")
+        b = Node("b", sim, net, domain="az-b")
+        b.on("inbox", lambda msg: arrivals.append(sim.now))
+        a.send("b", "inbox", "x", entries=50)
+        sim.run_until_idle()
+        assert arrivals == [pytest.approx(5.0)]
+
+
+class TestByteConservation:
+    def test_enqueued_equals_delivered_plus_dropped(self):
+        """The conservation ledger balances under drops, partitions,
+        duplicates and unknown destinations once the simulation is idle."""
+        sim = Simulator(seed=7)
+        net = Network(sim, NetworkConfig(base_delay=1.0, jitter=0.5,
+                                         drop_rate=0.3, duplicate_rate=0.2,
+                                         bandwidth=200.0))
+        a = Node("a", sim, net)
+        b = Node("b", sim, net)
+        b.on("inbox", lambda msg: None)
+        rng = random.Random(13)
+        for i in range(60):
+            a.send("b", "inbox", i, entries=rng.randrange(0, 8))
+        part = net.partition({"a"}, {"b"})
+        for i in range(10):
+            a.send("b", "inbox", f"cut-{i}", entries=2)
+        net.heal(part)
+        for i in range(10):
+            a.send("ghost", "inbox", f"ghost-{i}", entries=1)
+        sim.run_until_idle()
+        stats = net.link_byte_stats()
+        assert stats  # the model was on, so the ledger exists
+        for link, stat in sorted(stats.items(), key=repr):
+            assert stat["enqueued_bytes"] == (
+                stat["delivered_bytes"] + stat["dropped_bytes"]), (link, stat)
+
+    def test_partition_installed_mid_flight_accounts_drop(self):
+        sim = Simulator(seed=1)
+        net = Network(sim, NetworkConfig(base_delay=5.0, jitter=0.0,
+                                         bandwidth=1000.0))
+        a = Node("a", sim, net)
+        b = Node("b", sim, net)
+        b.on("inbox", lambda msg: None)
+        a.send("b", "inbox", "x", entries=3)
+        net.partition({"a"}, {"b"})  # cut while the message is in flight
+        sim.run_until_idle()
+        stat = net.link_byte_stats()[("a", "b")]
+        assert stat["dropped_bytes"] == stat["enqueued_bytes"] == wire_size(3)
+        assert stat["delivered_bytes"] == 0
+
+
+class TestModelOffEquivalence:
+    """With no bandwidth and no matrix, the network is the pre-model one."""
+
+    def test_no_ledger_no_transmission_state(self):
+        sim, net, nodes, arrivals = build(NetworkConfig(base_delay=1.0,
+                                                        jitter=0.0))
+        nodes["a"].send("b", "inbox", "x", entries=500)
+        sim.run_until_idle()
+        assert arrivals[0][2] == pytest.approx(1.0)  # size cost no time
+        assert net.link_byte_stats() == {}
+        assert net.last_transmission == (0.0, 0.0)
+        assert net.max_transmission_delay == 0.0
+
+    def test_rng_consumption_matches_pre_model_formula(self):
+        """Model off must draw exactly the jitter samples the size-blind
+        network drew — replayed here against a twin RNG — so seeded traces
+        recorded before the model existed stay valid."""
+        sim, net, nodes, arrivals = build(
+            NetworkConfig(base_delay=1.0, jitter=2.0, drop_rate=0.25))
+        sends = 40
+        for i in range(sends):
+            nodes["a"].send("b", "inbox", i, entries=i % 5)
+        expected = []
+        twin = random.Random(1)  # the simulator's seed
+        for i in range(sends):
+            if twin.random() < 0.25:
+                continue  # the drop lottery consumed one draw
+            expected.append((i, 1.0 + 2.0 * twin.random()))
+        sim.run_until_idle()
+        got = sorted((payload, at) for _, payload, at in arrivals)
+        assert got == [(i, pytest.approx(at)) for i, at in sorted(expected)]
+
+
+#: Digest of a full chaos scenario with the transmission model *off*
+#: (link_bandwidth=None): the exact pre-model event trace.
+MODEL_OFF_DIGEST_SCRIPT = """
+import dataclasses
+import hashlib
+from repro.chaos import run_scenario, standard_schedule, fast_config, state_digest
+
+config = dataclasses.replace(fast_config(), link_bandwidth=None)
+result = run_scenario(11, standard_schedule(), config=config, trace=True)
+trace = "\\n".join(f"{t:.9f} {label}" for t, label in result.env.simulator.trace)
+payload = trace + "\\n" + state_digest(result.env)
+print(hashlib.sha256(payload.encode()).hexdigest())
+"""
+
+
+def digest_under_hashseed(hashseed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = SRC + os.pathsep * bool(env.get("PYTHONPATH")) \
+        + env.get("PYTHONPATH", "")
+    result = subprocess.run([sys.executable, "-c", MODEL_OFF_DIGEST_SCRIPT],
+                            capture_output=True, text=True, check=True, env=env)
+    return result.stdout.strip()
+
+
+class TestModelOffCrossHashseedTrace:
+    def test_model_off_trace_byte_identical_across_pythonhashseed(self):
+        """The model-off chaos trace — the pre-model execution — must not
+        fork between interpreters with different hash salts (the same
+        contract the two CI jobs pin for the model-on profile)."""
+        assert digest_under_hashseed("1") == digest_under_hashseed("31337")

@@ -66,6 +66,26 @@ class TestTypedSizing:
             a.send("b", "inbox", "x", size_bytes=999)
         assert net.bytes_sent == 999
 
+    def test_raw_size_bytes_warns_once_but_bills_every_send(self):
+        """Regression pin for the PR-4 migration seam: under the default
+        warning filter the deprecation fires once per call site (no log
+        spam from a hot loop), while the byte ledger stays honest for
+        every send — the warning being deduplicated must never dedupe the
+        accounting."""
+        sim, net, a, b = build_pair()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("default")
+            for _ in range(5):
+                a.send("b", "inbox", "x", size_bytes=333)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "wire_size" in str(deprecations[0].message)
+        assert net.bytes_sent == 5 * 333
+        # The transport's own ledger billed the raw size too.
+        assert a.transport.bytes_sent == 5 * 333
+        assert a.transport.logical_messages_sent == 5
+
 
 class TestBatching:
     def test_same_instant_parcels_share_one_envelope(self):
@@ -408,3 +428,58 @@ class TestObservationEquivalence:
         unbatched = self.paxos_log(False)
         assert batched == unbatched
         assert batched["r0"] == [f"v{j}" for j in range(20)]
+
+
+class TestSerializationTicks:
+    """With the bandwidth model on, the transport ledgers transmission time."""
+
+    def bandwidth_pair(self, bandwidth=100.0):
+        return build_pair(config=NetworkConfig(base_delay=1.0, jitter=0.0,
+                                               bandwidth=bandwidth))
+
+    def test_send_now_ledgers_serialization(self):
+        sim, net, a, b = self.bandwidth_pair()
+        a.send("b", "inbox", "x", entries=4)
+        expected = wire_size(4) / 100.0
+        assert a.transport.serialization_ticks == pytest.approx(expected)
+        assert net.metrics.counter("transport.serialization_ticks") == \
+            pytest.approx(expected)
+
+    def test_batched_envelope_serializes_once(self):
+        """Ten parcels in one envelope pay one header's serialization; ten
+        unbatched sends pay ten — batching amortizes *time*, not just
+        header bytes."""
+        sim_b, net_b, a_b, _ = self.bandwidth_pair()
+        for i in range(10):
+            a_b.queue("b", "inbox", i, entries=1)
+        sim_b.run_until_idle()
+        batched = a_b.transport.serialization_ticks
+
+        sim_u, net_u, a_u, _ = self.bandwidth_pair()
+        for i in range(10):
+            a_u.send("b", "inbox", i, entries=1)
+        sim_u.run_until_idle()
+        unbatched = a_u.transport.serialization_ticks
+
+        assert batched == pytest.approx(
+            (WIRE_HEADER_BYTES + 10 * WIRE_ENTRY_BYTES) / 100.0)
+        assert unbatched == pytest.approx(10 * wire_size(1) / 100.0)
+        assert unbatched - batched == pytest.approx(
+            9 * WIRE_HEADER_BYTES / 100.0)
+
+    def test_queue_wait_ledgered_separately(self):
+        sim, net, a, b = self.bandwidth_pair()
+        a.send("b", "inbox", "first", entries=5)
+        a.send("b", "inbox", "second", entries=5)  # waits behind first
+        assert net.metrics.counter("transport.queue_wait_ticks") == \
+            pytest.approx(wire_size(5) / 100.0)
+
+    def test_model_off_ledgers_nothing(self):
+        sim, net, a, b = build_pair()
+        a.send("b", "inbox", "x", entries=50)
+        for i in range(5):
+            a.queue("b", "inbox", i, entries=2)
+        sim.run_until_idle()
+        assert a.transport.serialization_ticks == 0.0
+        assert net.metrics.counter("transport.serialization_ticks") == 0.0
+        assert net.metrics.counter("transport.queue_wait_ticks") == 0.0
