@@ -79,6 +79,16 @@ class ChaosConfig:
     #: horizon), or a state-losing recovery cannot be healed by
     #: anti-entropy before the convergence checker looks.
     settle_after_heal: float = 450.0
+    #: Runtime sanitizer: digest every payload at ``queue()`` time and
+    #: verify it at flush — mutation-after-queue raises
+    #: :class:`~repro.cluster.transport.PayloadMutationError` naming the
+    #: parcel.  Pure observation: traces are byte-identical with it on.
+    sanitize: bool = False
+    #: Runtime sanitizer: reverse the transport's sorted flush order.  Any
+    #: fixed deterministic order is contractually valid, so every checker
+    #: must still pass — a failure under this flag is a latent RL004-class
+    #: bug (code that latched onto one specific sorted order).
+    perturb_order: bool = False
 
     def network_config(self) -> NetworkConfig:
         return NetworkConfig(base_delay=self.base_delay, jitter=self.jitter,
@@ -113,6 +123,10 @@ class ScenarioResult:
 
 def build_env(seed: int, config: ChaosConfig) -> ChaosEnv:
     env = ChaosEnv(seed, config.network_config())
+    # Every node's Transport holds a reference to this shared config, so
+    # setting the sanitizer flags here covers the whole cluster.
+    env.network.transport_config.sanitize = config.sanitize
+    env.network.transport_config.perturb_order = config.perturb_order
     env.kvs = LatticeKVS(env.simulator, env.network,
                          shard_count=config.shards,
                          replication_factor=config.replication,

@@ -239,6 +239,14 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
                         help="replay every failure in a CHAOS_failures.json")
     parser.add_argument("--no-shrink", action="store_true",
                         help="skip shrinking failing schedules")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="enable the payload mutation-after-queue "
+                             "sanitizer (trace-identical; raises "
+                             "PayloadMutationError on violation)")
+    parser.add_argument("--perturb-order", action="store_true",
+                        help="reverse the transport's sorted flush order "
+                             "to smoke out code latched onto one specific "
+                             "deterministic order (latent RL004 misses)")
     args = parser.parse_args(argv)
 
     if args.replay:
@@ -261,8 +269,10 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
                 exit_code = 1
         return exit_code
 
+    config = dataclasses.replace(fast_config(), sanitize=args.sanitize,
+                                 perturb_order=args.perturb_order)
     report = sweep(range(args.seeds), standard_schedule(),
-                   config=fast_config(),
+                   config=config,
                    shrink_failures=not args.no_shrink)
     print(report.summary())
     with open(args.out, "w") as handle:

@@ -20,7 +20,7 @@ shrinker remove faults without perturbing the workload.
 
 from __future__ import annotations
 
-import random
+import random  # repro-lint: disable=RL006 -- only seeded Random(env.seed); plans are a pure function of the seed
 from typing import Hashable, Optional
 
 from repro.chaos.history import History, Op

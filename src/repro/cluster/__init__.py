@@ -37,9 +37,11 @@ from repro.cluster.transport import (
     AckedChannel,
     Envelope,
     Parcel,
+    PayloadMutationError,
     RpcPolicy,
     Transport,
     TransportConfig,
+    payload_digest,
 )
 from repro.cluster.node import Node
 from repro.cluster.domains import FailureDomain, Placement, Topology
@@ -68,6 +70,8 @@ __all__ = [
     "WIRE_ENTRY_BYTES",
     "Transport",
     "TransportConfig",
+    "PayloadMutationError",
+    "payload_digest",
     "Parcel",
     "Envelope",
     "RpcPolicy",

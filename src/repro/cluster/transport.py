@@ -29,7 +29,10 @@ path iterates a set — the event trace is byte-identical under every
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import itertools
+import sys
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -46,6 +49,21 @@ from repro.cluster.network import (
 #: The network-level mailbox that carries transport envelopes.  Logical
 #: mailboxes live inside the envelope's parcels.
 TRANSPORT_MAILBOX = "__transport__"
+
+
+def _caller_site() -> str:
+    """``file:line`` of the frame the size_bytes deprecation attributes to.
+
+    Depth 3 mirrors the warning's ``stacklevel=3`` (this helper, then
+    ``send_now``, then ``Node.send``, then the caller) — the warning is
+    deduplicated per site, so the message must say *which* site or a
+    once-only warning from a 40-file run is unactionable.
+    """
+    try:
+        frame = sys._getframe(3)
+    except ValueError:  # pragma: no cover - shallower stacks than expected
+        return "<unknown>"
+    return f"{frame.f_code.co_filename}:{frame.f_lineno}"
 
 
 @dataclass(frozen=True)
@@ -110,6 +128,85 @@ class TransportConfig:
     rpc: RpcPolicy = field(default_factory=RpcPolicy)
     #: Served-request memo size per node (duplicate suppression window).
     dedup_window: int = 1024
+    #: Runtime sanitizer: payloads handed to ``queue``/``reply`` are
+    #: digested at queue time and re-digested at flush; a mismatch raises
+    #: :class:`PayloadMutationError` naming the parcel.  Pure observation —
+    #: event traces are byte-identical with it on or off.
+    sanitize: bool = False
+    #: Runtime sanitizer: reverse the transport's sorted flush order.  Any
+    #: *fixed* deterministic order is contractually valid (the sort exists
+    #: to kill PYTHONHASHSEED dependence, not to promise ascending order),
+    #: so all invariants must survive the reversal — running a chaos sweep
+    #: with this on smokes out code that latched onto one specific order
+    #: (the RL004 misses static analysis cannot see).
+    perturb_order: bool = False
+
+
+class PayloadMutationError(RuntimeError):
+    """A payload changed between ``queue()`` and its envelope's flush.
+
+    Payloads handed to the transport are owned by it — the batch *is* the
+    snapshot.  Mutating one afterwards corrupts whatever the peer receives
+    (and, worse, does so as a function of event interleaving).  Raised by
+    the opt-in sanitize pass (:attr:`TransportConfig.sanitize`) at the
+    flush that would have shipped the stale digest.
+    """
+
+
+def payload_digest(payload: Any) -> str:
+    """A structural digest of ``payload``, stable under no mutation.
+
+    Containers are folded recursively — dicts/sets in sorted-``repr``
+    order, so the digest itself never depends on ``PYTHONHASHSEED`` —
+    dataclasses by field, plain objects by their ``__dict__``; leaves fall
+    back to ``repr``.  Two digests of an *unchanged* object are equal;
+    any in-place mutation of a folded container or attribute changes it.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    _fold_payload(payload, hasher, seen=set())
+    return hasher.hexdigest()
+
+
+def _fold_payload(value: Any, hasher: Any, seen: set) -> None:
+    if isinstance(value, (type(None), bool, int, float, str, bytes)):
+        hasher.update(f"L{type(value).__name__}:{value!r};".encode())
+        return
+    marker = id(value)
+    if marker in seen:
+        hasher.update(b"cycle;")
+        return
+    seen.add(marker)
+    try:
+        if isinstance(value, dict):
+            hasher.update(b"dict{")
+            for key in sorted(value, key=repr):
+                _fold_payload(key, hasher, seen)
+                _fold_payload(value[key], hasher, seen)
+            hasher.update(b"}")
+        elif isinstance(value, (set, frozenset)):
+            hasher.update(b"set{")
+            for element in sorted(value, key=repr):
+                _fold_payload(element, hasher, seen)
+            hasher.update(b"}")
+        elif isinstance(value, (list, tuple)):
+            hasher.update(f"{type(value).__name__}[".encode())
+            for element in value:
+                _fold_payload(element, hasher, seen)
+            hasher.update(b"]")
+        elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+            hasher.update(f"dc:{type(value).__name__}(".encode())
+            for field_info in dataclasses.fields(value):
+                hasher.update(f"{field_info.name}=".encode())
+                _fold_payload(getattr(value, field_info.name), hasher, seen)
+            hasher.update(b")")
+        elif hasattr(value, "__dict__"):
+            hasher.update(f"obj:{type(value).__name__}(".encode())
+            _fold_payload(vars(value), hasher, seen)
+            hasher.update(b")")
+        else:
+            hasher.update(f"repr:{value!r};".encode())
+    finally:
+        seen.discard(marker)
 
 
 @dataclass
@@ -205,6 +302,9 @@ class Transport:
         self.config = config or network.transport_config
         self.metrics = network.metrics
         self._queues: dict[Hashable, list[Parcel]] = {}
+        #: Per-destination queue-time payload digests, parallel to
+        #: ``_queues`` (only populated while ``config.sanitize`` is on).
+        self._queue_digests: dict[Hashable, list[str]] = {}
         self._flush_scheduled = False
         self._pending: dict[int, _PendingRequest] = {}
         self._served: OrderedDict[tuple, Optional[Parcel]] = OrderedDict()
@@ -237,8 +337,9 @@ class Transport:
             size = wire_size(entries)
         else:
             warnings.warn(
-                "raw size_bytes is deprecated; declare an entry count and "
-                "let wire_size() price the payload",
+                f"raw size_bytes is deprecated (call site {_caller_site()}); "
+                "declare an entry count and let wire_size() price the "
+                "payload",
                 DeprecationWarning, stacklevel=3)
             size = size_bytes
         self._account_logical(mailbox, entries)
@@ -261,6 +362,9 @@ class Transport:
             self._ship(destination, [parcel])
             return
         self._queues.setdefault(destination, []).append(parcel)
+        if self.config.sanitize:
+            self._queue_digests.setdefault(destination, []).append(
+                payload_digest(parcel.payload))
         if not self._flush_scheduled:
             self._flush_scheduled = True
             self.network.simulator.schedule(
@@ -279,19 +383,36 @@ class Transport:
         if self.owner is not None and not self.owner.alive:
             if destination is None:
                 self._queues.clear()
+                self._queue_digests.clear()
             else:
                 self._queues.pop(destination, None)
+                self._queue_digests.pop(destination, None)
             return
         if destination is not None:
             parcels = self._queues.pop(destination, None)
+            digests = self._queue_digests.pop(destination, None)
             if parcels:
-                self._ship(destination, parcels)
+                self._ship(destination, parcels, digests)
             return
         queues, self._queues = self._queues, {}
-        for dest in sorted(queues, key=repr):
-            self._ship(dest, queues[dest])
+        digest_map, self._queue_digests = self._queue_digests, {}
+        # Sorted, never hash order — and reversed under the perturb-order
+        # sanitizer, which any correct caller must be indifferent to.
+        for dest in sorted(queues, key=repr,
+                           reverse=self.config.perturb_order):
+            self._ship(dest, queues[dest], digest_map.get(dest))
 
-    def _ship(self, destination: Hashable, parcels: list[Parcel]) -> None:
+    def _ship(self, destination: Hashable, parcels: list[Parcel],
+              digests: Optional[list[str]] = None) -> None:
+        if self.config.sanitize and digests:
+            for parcel, queued_digest in zip(parcels, digests):
+                if payload_digest(parcel.payload) != queued_digest:
+                    raise PayloadMutationError(
+                        f"payload of parcel {parcel.mailbox!r} "
+                        f"{self.node_id!r}->{destination!r} (entries="
+                        f"{parcel.entries}, rpc_id={parcel.rpc_id}) was "
+                        "mutated after queue(); the transport owns queued "
+                        "payloads — snapshot before queueing instead")
         envelope = Envelope(tuple(parcels))
         size = envelope.wire_size()
         for parcel in parcels:
@@ -522,6 +643,7 @@ class Transport:
         """Fail-stop: queued parcels, pending requests and the dedup memo
         die with the process (timers are cancelled by the node)."""
         self._queues.clear()
+        self._queue_digests.clear()
         for pending in self._pending.values():
             if pending.timer is not None:
                 pending.timer.cancel()

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Any, Callable, Hashable, Sequence
 
 from repro.hydroflow.operators import Operator
+from repro.storage.ring import stable_digest
 
 
 class IngressOperator(Operator):
@@ -127,17 +128,20 @@ def bind_egress_to_node(egress: EgressOperator, node: Any,
 
 
 def hash_address(destinations: Sequence[Hashable], key: Callable[[Any], Hashable]) -> Callable[[Any], Hashable]:
-    """Content-hash addressing: route each item to ``destinations[hash(key) % n]``.
+    """Content-hash addressing: route each item to ``destinations[digest(key) % n]``.
 
     This is the Exchange-style partitioning primitive used for sharded
-    deployment of a flow.
+    deployment of a flow.  The digest is the ring's blake2
+    ``stable_digest``, never builtin ``hash()`` — the builtin is salted
+    per process, which would route the same key to different shards on
+    every run (RL001; the exact bug PR 1 evicted from the KVS ring).
     """
     nodes = list(destinations)
     if not nodes:
         raise ValueError("hash_address requires at least one destination")
 
     def address(item: Any) -> Hashable:
-        return nodes[hash(key(item)) % len(nodes)]
+        return nodes[stable_digest(key(item)) % len(nodes)]
 
     return address
 

@@ -1,0 +1,5 @@
+"""Entry point: ``PYTHONPATH=src python -m repro.lint src/ tests/ benchmarks/``."""
+
+from repro.lint.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Command line front end: ``python -m repro.lint [paths...]``.
+
+Exit codes: 0 clean, 1 findings (including unused suppressions), 2 usage
+or parse errors.  ``--format json`` emits the machine-readable report CI
+consumes; the schema is pinned by ``tests/lint/test_engine.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.lint.engine import all_rules, lint_paths
+
+#: What a bare ``python -m repro.lint`` analyzes.
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based determinism & contract analyzer for this tree.")
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
+                        help="files or directories to analyze "
+                             f"(default: {' '.join(DEFAULT_PATHS)})")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}")
+            print(f"       {rule.summary}")
+        return 0
+
+    try:
+        report = lint_paths(args.paths)
+    except (OSError, SyntaxError) as error:
+        print(f"repro.lint: error: {error}", file=sys.stderr)
+        return 2
+
+    print(report.to_json() if args.format == "json" else report.to_text())
+    return 0 if report.ok else 1

@@ -1,0 +1,44 @@
+"""Findings: what a rule reports, and how reports are rendered.
+
+A :class:`Finding` is one violation anchored at an exact ``path:line:col``
+— the analyzer's whole point is to *localize* a contract breach, so the
+anchor is part of the contract (fixture tests pin it per rule).  Findings
+sort by location so output is stable across filesystems and hash seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+#: Pseudo-rule code for a suppression comment that never matched a finding.
+#: Reported as a finding itself so stale escape hatches fail the run.
+UNUSED_SUPPRESSION_CODE = "RL000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at an exact source location."""
+
+    path: str
+    line: int
+    column: int
+    code: str
+    rule: str
+    message: str
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.column}: "
+                f"{self.code} [{self.rule}] {self.message}")
+
+
+def unused_suppression_finding(path: str, line: int, code: str) -> Finding:
+    """The finding emitted for a suppression that suppressed nothing."""
+    return Finding(
+        path=path, line=line, column=0,
+        code=UNUSED_SUPPRESSION_CODE, rule="unused-suppression",
+        message=(f"suppression for {code} on this line matched no finding; "
+                 "remove it (stale escape hatches hide future violations)"),
+    )

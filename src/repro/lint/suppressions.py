@@ -1,0 +1,86 @@
+"""Inline suppression comments: ``# repro-lint: disable=RLxxx``.
+
+A suppression silences findings of the named code(s) **on its own line**
+(the line the finding anchors to).  An optional justification follows
+``--`` and is strongly encouraged — the baseline contract is that every
+shipped suppression carries a one-line reason::
+
+    plan = rng.shuffle(ops)  # repro-lint: disable=RL006 -- seeded Random only
+
+Suppressions are tracked: one that never matches a finding is reported as
+:data:`~repro.lint.findings.UNUSED_SUPPRESSION_CODE` and fails the run.
+Parsing is tokenize-based, so a ``# repro-lint:`` inside a string literal
+is never mistaken for a directive.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<codes>[A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)"
+    r"(?:\s*--\s*(?P<reason>.*))?")
+
+
+@dataclass
+class Suppression:
+    """One ``disable=`` directive: a code silenced on one line."""
+
+    line: int
+    code: str
+    reason: str = ""
+    used: bool = field(default=False, compare=False)
+
+
+class SuppressionIndex:
+    """All suppression directives of one module, with usage tracking."""
+
+    def __init__(self, source: str) -> None:
+        self._by_line: dict[int, list[Suppression]] = {}
+        for line, comment in _iter_comments(source):
+            match = _DIRECTIVE.search(comment)
+            if match is None:
+                continue
+            reason = (match.group("reason") or "").strip()
+            for code in re.split(r"\s*,\s*", match.group("codes")):
+                self._by_line.setdefault(line, []).append(
+                    Suppression(line=line, code=code, reason=reason))
+
+    def suppress(self, line: int, code: str) -> bool:
+        """True (and marks the directive used) if ``code`` is silenced on ``line``."""
+        for suppression in self._by_line.get(line, ()):
+            if suppression.code == code:
+                suppression.used = True
+                return True
+        return False
+
+    def unused(self) -> list[Suppression]:
+        """Directives that silenced nothing, in line order."""
+        return [suppression
+                for line in sorted(self._by_line)
+                for suppression in self._by_line[line]
+                if not suppression.used]
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._by_line.values())
+
+
+def _iter_comments(source: str):
+    """Yield ``(line, comment_text)`` for every comment token in ``source``.
+
+    Falls back to a line-scan when tokenization fails (the caller reports
+    the syntax error separately); the scan can be fooled by a ``#`` inside
+    a string, but an un-parseable file produces no findings to suppress.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        for number, text in enumerate(source.splitlines(), start=1):
+            if "#" in text:
+                yield number, text[text.index("#"):]

@@ -66,6 +66,20 @@ class TestTypedSizing:
             a.send("b", "inbox", "x", size_bytes=999)
         assert net.bytes_sent == 999
 
+    def test_raw_size_bytes_warning_names_the_call_site(self):
+        """The warning fires once per site (deduplicated), so the message
+        must say *which* site — a once-only 'somewhere in this run' warning
+        from a 40-file tree is unactionable.  Pin: the file:line in the
+        message is exactly the location the warning is attributed to."""
+        sim, net, a, b = build_pair()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            a.send("b", "inbox", "x", size_bytes=111)
+        (warning,) = caught
+        message = str(warning.message)
+        assert "test_transport.py" in message
+        assert f"{warning.filename}:{warning.lineno}" in message
+
     def test_raw_size_bytes_warns_once_but_bills_every_send(self):
         """Regression pin for the PR-4 migration seam: under the default
         warning filter the deprecation fires once per call site (no log
@@ -81,6 +95,9 @@ class TestTypedSizing:
                         if issubclass(w.category, DeprecationWarning)]
         assert len(deprecations) == 1
         assert "wire_size" in str(deprecations[0].message)
+        # The deduplicated message still names the exact loop line.
+        assert (f"{deprecations[0].filename}:{deprecations[0].lineno}"
+                in str(deprecations[0].message))
         assert net.bytes_sent == 5 * 333
         # The transport's own ledger billed the raw size too.
         assert a.transport.bytes_sent == 5 * 333

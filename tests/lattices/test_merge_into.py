@@ -110,7 +110,7 @@ class TestMergeIntoEquivalence:
         for a in triple:
             for b in triple:
                 b_before = private(b)
-                private(a).merge_into(b)
+                private(a).merge_into(b)  # repro-lint: disable=RL005 -- result deliberately unused: asserting the *argument* is untouched
                 assert b == b_before
 
     def test_commutativity_survives_mutation(self, triple):
@@ -209,7 +209,7 @@ class TestOwnershipBoundaries:
         theirs_leaf = SetUnion({1})
         theirs = MapLattice({"k": theirs_leaf})
         mine = MapLattice().merge_into(theirs)
-        mine.merge_into(MapLattice({"k": SetUnion({2})}))
+        mine.merge_into(MapLattice({"k": SetUnion({2})}))  # repro-lint: disable=RL005 -- ownership pin: MapLattice's in-place path must mutate the receiver
         assert theirs_leaf == SetUnion({1})
         assert mine["k"] == SetUnion({1, 2})
 
@@ -218,6 +218,6 @@ class TestOwnershipBoundaries:
         is what makes the later in-place merge of components safe."""
         shared = PNCounter(GCounter({"a": 1}), GCounter())
         merged = shared.merge(PNCounter(GCounter({"b": 1}), GCounter()))
-        merged.merge_into(PNCounter(GCounter({"a": 5}), GCounter({"a": 2})))
+        merged.merge_into(PNCounter(GCounter({"a": 5}), GCounter({"a": 2})))  # repro-lint: disable=RL005 -- ownership pin: in-place merge of a private subtree must mutate the receiver
         assert shared.positive == GCounter({"a": 1})
         assert shared.negative == GCounter()
