@@ -37,11 +37,25 @@ from repro.chaos.checkers import (
     state_digest,
     summarize,
 )
-from repro.chaos.history import FAIL, INVOKED, OK, History, Op
+from repro.chaos.diagnosis import (
+    Blame,
+    DiagnosisReport,
+    check_fault_localization,
+    diagnose,
+    identifiable_truth,
+    score_against_ground_truth,
+)
+from repro.chaos.history import FAIL, INVOKED, OK, PENDING, History, Op
+from repro.chaos.linearizability import (
+    SequentialLogModel,
+    check_linearizable,
+    find_linearization,
+)
 from repro.chaos.nemesis import (
     ChaosEnv,
     ClockSkew,
     Congestion,
+    CrashClient,
     CrashReplica,
     DomainOutage,
     DropSpike,
@@ -82,12 +96,16 @@ from repro.chaos.workloads import (
 
 __all__ = [
     # histories
-    "History", "Op", "INVOKED", "OK", "FAIL",
+    "History", "Op", "INVOKED", "OK", "FAIL", "PENDING",
     # nemesis
     "ChaosEnv", "Nemesis", "Fault", "PartitionStorm", "CrashReplica",
-    "DomainOutage", "LatencySpike", "DropSpike", "Congestion", "SlowNode",
-    "ClockSkew", "ReshardUnderFire",
+    "CrashClient", "DomainOutage", "LatencySpike", "DropSpike", "Congestion",
+    "SlowNode", "ClockSkew", "ReshardUnderFire",
     "schedule_to_dicts", "schedule_from_dicts",
+    # linearizability & diagnosis
+    "SequentialLogModel", "check_linearizable", "find_linearization",
+    "Blame", "DiagnosisReport", "diagnose", "check_fault_localization",
+    "score_against_ground_truth", "identifiable_truth",
     # workloads
     "KVSWorkload", "CartWorkload", "CausalWorkload", "PaxosWorkload",
     "RecordingKVSClient",

@@ -25,6 +25,11 @@ INVOKED = "invoked"
 OK = "ok"
 #: The operation definitely failed (an error response arrived).
 FAIL = "fail"
+#: The issuing client crashed with the operation in flight: the outcome is
+#: permanently indeterminate (Jepsen ``:info``).  A pending write may or may
+#: not have landed, so linearizability checkers must allow it to take effect
+#: anywhere after its invocation — or never.
+PENDING = "pending"
 
 
 @dataclass
@@ -103,10 +108,31 @@ class History:
         op.completed_at = at
         return op
 
+    def mark_pending(self, op: Op, at: float = 0.0, **info: Any) -> Op:
+        """Freeze an in-flight op as permanently indeterminate.
+
+        Only ops still ``INVOKED`` can become pending: a response that
+        already arrived fixed the outcome, and crashing the client
+        afterwards cannot un-observe it.  ``completed_at`` stays ``None`` —
+        a pending op has no completion event, only a crash time in ``info``.
+        """
+        if op.status != INVOKED:
+            raise ValueError(
+                f"cannot mark {op.status} op {op.op_id} pending; only "
+                "in-flight (invoked) ops have an indeterminate outcome"
+            )
+        op.status = PENDING
+        op.info["crashed_at"] = at
+        op.info.update(info)
+        return op
+
     # -- views ------------------------------------------------------------------
 
     def completed(self) -> list[Op]:
         return [op for op in self.ops if op.ok]
+
+    def pending(self) -> list[Op]:
+        return [op for op in self.ops if op.status == PENDING]
 
     def by_client(self) -> dict[Hashable, list[Op]]:
         """Ops grouped per client, each group in invocation order."""

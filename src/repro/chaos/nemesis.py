@@ -64,6 +64,15 @@ class ChaosEnv:
         self.injector = FailureInjector(self.simulator, {}, self.topology)
         self.fault_log: list[tuple[float, str]] = []
         self.lose_state_events: list[tuple[float, Hashable]] = []
+        #: Ground-truth nemesis footprint, appended by each degrading fault
+        #: *at fire time* (after index→target resolution), so it names the
+        #: concrete subject a diagnosis must rediscover.  Subjects are
+        #: ``("fabric",)`` for whole-network degradations (partitions,
+        #: latency/drop/congestion spikes), ``("node", id)`` for node-local
+        #: ones (crashes, slow nodes), ``("client", id)`` for client
+        #: crashes.  Clock skews and reshards record nothing: neither is a
+        #: path degradation an end-to-end observer could be asked to see.
+        self.ground_truth: list[dict] = []
         # Active link degradations.  Spikes register/unregister here and the
         # effective config is always *recomputed from pristine*, so
         # overlapping spikes compose (product of factors, max of drop
@@ -86,6 +95,11 @@ class ChaosEnv:
         #: with it.
         self.max_timer_drift = 1.0
         self._extra_crashable: dict[Hashable, Node] = {}
+        #: Workload client nodes, kept *out* of the injector: clients are
+        #: only ever targeted by :class:`CrashClient`, never by
+        #: :class:`CrashReplica` (whose ``pool="all"`` index arithmetic
+        #: must not shift when a workload registers its clients).
+        self.clients: dict[Hashable, Node] = {}
         if kvs is not None:
             self.refresh_injector()
 
@@ -96,6 +110,11 @@ class ChaosEnv:
         for node in nodes:
             self._extra_crashable[node.node_id] = node
         self.refresh_injector()
+
+    def register_clients(self, clients: Sequence[Node]) -> None:
+        """Expose workload client nodes to :class:`CrashClient` faults."""
+        for client in clients:
+            self.clients[client.node_id] = client
 
     def refresh_injector(self) -> None:
         """Rebuild the injector's node map and topology from live state.
@@ -119,10 +138,20 @@ class ChaosEnv:
         """Every registered node (replicas, clients, protocol nodes), sorted."""
         return sorted(self.network.registered_nodes(), key=str)
 
+    def client_ids(self) -> list[Hashable]:
+        """Client-crash targets, sorted for seed- and hashseed-stable picks."""
+        return sorted(self.clients, key=str)
+
     # -- bookkeeping used by faults ----------------------------------------------
 
     def log_fault(self, text: str) -> None:
         self.fault_log.append((self.simulator.now, text))
+
+    def record_ground_truth(self, kind: str, subject: tuple,
+                            start: float, end: float) -> None:
+        """Append one resolved fault footprint for diagnosis scoring."""
+        self.ground_truth.append({
+            "kind": kind, "subject": subject, "start": start, "end": end})
 
     def push_latency_factor(self, factor: float) -> None:
         self._latency_factors.append(factor)
@@ -228,6 +257,13 @@ class ChaosEnv:
             node = self.injector.nodes[node_id]
             if not node.alive:
                 self.injector.recover_now(node_id, lose_state=False)
+        for client_id in self.client_ids():
+            client = self.clients[client_id]
+            if not client.alive:
+                # A returning client is always a *new* session: its volatile
+                # session caches die with the old incarnation, whatever the
+                # heal phase's keep-state policy for replicas.
+                client.recover(lose_state=True)
         self.log_fault("heal_everything")
 
 
@@ -316,6 +352,9 @@ class PartitionStorm(Fault):
         detail = f" bridge={bridge}" if bridge is not None else ""
         env.log_fault(f"partition wave {wave} ({self.flavor}): "
                       f"{len(group_a)}|{len(group_b)} nodes{detail}")
+        env.record_ground_truth("PartitionStorm", ("fabric",),
+                                env.simulator.now,
+                                env.simulator.now + self.duration)
 
         def heal() -> None:
             env.network.heal(partition)
@@ -365,6 +404,9 @@ class CrashReplica(Fault):
         lose_state = self.lose_state and self.pool == "kvs"
         env.injector.crash_now(node_id)
         env.log_fault(f"crash {node_id} (lose_state={lose_state})")
+        env.record_ground_truth("CrashReplica", ("node", node_id),
+                                env.simulator.now,
+                                env.simulator.now + self.downtime)
         env.simulator.schedule(
             self.downtime, lambda: self._recover(env, node_id, lose_state),
             label=f"nemesis recover-{node_id}")
@@ -376,6 +418,57 @@ class CrashReplica(Fault):
         if lose_state:
             env.lose_state_events.append((env.simulator.now, node_id))
         env.log_fault(f"recover {node_id} (lose_state={lose_state})")
+
+    def window(self) -> tuple[float, float]:
+        return (self.at, self.at + self.downtime)
+
+
+@dataclass(frozen=True)
+class CrashClient(Fault):
+    """Crash one workload client mid-operation, then bring back a stranger.
+
+    The target is picked by ``index`` into the sorted registered client ids
+    at fire time.  Crashing a :class:`~repro.chaos.workloads.RecordingKVSClient`
+    freezes its in-flight ops as ``PENDING`` in the history (the request may
+    be on the wire; the outcome is permanently indeterminate — Jepsen
+    ``:info``), and recovery is always ``lose_state=True``: the replacement
+    identity reuses the node id but starts a *fresh session*, inheriting
+    neither the read-your-writes nor the monotonic-reads cache (pinned by
+    ``KVSClient.reset_state``).  Ops the plan fires during the downtime are
+    simply not issued — a dead client is silent, not failing.
+    """
+
+    index: int = 0
+    downtime: float = 40.0
+
+    def inject(self, env: ChaosEnv) -> None:
+        env.simulator.schedule_at(self.at, lambda: self._crash(env),
+                                  label=f"nemesis crash-client-{self.index}")
+
+    def _crash(self, env: ChaosEnv) -> None:
+        targets = env.client_ids()
+        if not targets:
+            return
+        node_id = targets[self.index % len(targets)]
+        client = env.clients[node_id]
+        if not client.alive:
+            return  # already down (overlapping client crashes)
+        client.crash()
+        env.log_fault(f"crash-client {node_id}")
+        env.record_ground_truth("CrashClient", ("client", node_id),
+                                env.simulator.now,
+                                env.simulator.now + self.downtime)
+        env.simulator.schedule(
+            self.downtime, lambda: self._recover(env, node_id),
+            label=f"nemesis recover-client-{node_id}")
+
+    def _recover(self, env: ChaosEnv, node_id: Hashable) -> None:
+        client = env.clients.get(node_id)
+        if client is None or client.alive:
+            return
+        client.recover(lose_state=True)
+        env.lose_state_events.append((env.simulator.now, node_id))
+        env.log_fault(f"recover-client {node_id} (new session)")
 
     def window(self) -> tuple[float, float]:
         return (self.at, self.at + self.downtime)
@@ -403,6 +496,10 @@ class DomainOutage(Fault):
         plans = env.injector.crash_domain(
             FailureDomain.AVAILABILITY_ZONE, self.domain, at=env.simulator.now)
         env.log_fault(f"outage {self.domain}: {len(plans)} nodes")
+        for plan in plans:
+            env.record_ground_truth("DomainOutage", ("node", plan.node_id),
+                                    env.simulator.now,
+                                    env.simulator.now + self.downtime)
         for plan in plans:
             env.simulator.schedule(
                 self.downtime,
@@ -439,6 +536,9 @@ class LatencySpike(Fault):
     def _start(self, env: ChaosEnv) -> None:
         env.push_latency_factor(self.factor)
         env.log_fault(f"latency x{self.factor}")
+        env.record_ground_truth("LatencySpike", ("fabric",),
+                                env.simulator.now,
+                                env.simulator.now + self.duration)
         env.simulator.schedule(self.duration, lambda: self._restore(env),
                                label="nemesis latency-restore")
 
@@ -468,6 +568,9 @@ class DropSpike(Fault):
     def _start(self, env: ChaosEnv) -> None:
         env.push_drop_rate(self.drop_rate)
         env.log_fault(f"drop_rate -> {env.network.config.drop_rate}")
+        env.record_ground_truth("DropSpike", ("fabric",),
+                                env.simulator.now,
+                                env.simulator.now + self.duration)
         env.simulator.schedule(self.duration, lambda: self._restore(env),
                                label="nemesis drop-restore")
 
@@ -505,6 +608,9 @@ class Congestion(Fault):
     def _start(self, env: ChaosEnv) -> None:
         env.push_bandwidth_squeeze(self.factor)
         env.log_fault(f"congestion /{self.factor}")
+        env.record_ground_truth("Congestion", ("fabric",),
+                                env.simulator.now,
+                                env.simulator.now + self.duration)
         env.simulator.schedule(self.duration, lambda: self._restore(env),
                                label="nemesis congestion-restore")
 
@@ -545,6 +651,9 @@ class SlowNode(Fault):
         node_id = targets[self.index % len(targets)]
         env.push_node_slowdown(node_id, self.factor)
         env.log_fault(f"slow-node {node_id} x{self.factor}")
+        env.record_ground_truth("SlowNode", ("node", node_id),
+                                env.simulator.now,
+                                env.simulator.now + self.duration)
         env.simulator.schedule(self.duration,
                                lambda: self._restore(env, node_id),
                                label=f"nemesis slow-node-restore-{self.index}")
@@ -620,7 +729,7 @@ class ReshardUnderFire(Fault):
 #: Fault kinds recognised by :func:`schedule_from_dicts`.
 FAULT_KINDS = {
     cls.__name__: cls
-    for cls in (PartitionStorm, CrashReplica, DomainOutage,
+    for cls in (PartitionStorm, CrashReplica, CrashClient, DomainOutage,
                 LatencySpike, DropSpike, Congestion, SlowNode, ClockSkew,
                 ReshardUnderFire)
 }

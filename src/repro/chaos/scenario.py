@@ -32,7 +32,13 @@ from repro.chaos.checkers import (
     check_session_guarantees,
     summarize,
 )
+from repro.chaos.diagnosis import (
+    DiagnosisReport,
+    check_fault_localization,
+    diagnose,
+)
 from repro.chaos.history import History
+from repro.chaos.linearizability import check_linearizable
 from repro.chaos.nemesis import ChaosEnv, Fault, Nemesis
 from repro.chaos.workloads import (
     CartWorkload,
@@ -106,6 +112,10 @@ class ScenarioResult:
     history: History
     env: ChaosEnv = field(repr=False, default=None)
     sim_duration: float = 0.0
+    #: The fault-localization inference for this run (always computed; the
+    #: ``fault-localization`` checker scores it against the nemesis
+    #: footprint, and the sweep ships it as a CI artifact on failure).
+    diagnosis: Optional[DiagnosisReport] = field(repr=False, default=None)
 
     @property
     def passed(self) -> bool:
@@ -140,8 +150,15 @@ def build_env(seed: int, config: ChaosConfig) -> ChaosEnv:
 def run_scenario(seed: int, schedule: Sequence[Fault],
                  config: Optional[ChaosConfig] = None,
                  workloads: Sequence[str] = ALL_WORKLOADS,
-                 trace: bool = False) -> ScenarioResult:
-    """Run one seeded scenario under ``schedule`` and check it."""
+                 trace: bool = False,
+                 checker: Optional[str] = None) -> ScenarioResult:
+    """Run one seeded scenario under ``schedule`` and check it.
+
+    ``checker`` restricts judging to one checker by name (the CLI's
+    ``--checker`` filter); ``None`` runs them all.  The run itself is
+    identical either way — filtering only affects which verdicts are
+    computed, never the event trace.
+    """
     config = config or ChaosConfig()
     env = build_env(seed, config)
     if trace:
@@ -174,23 +191,43 @@ def run_scenario(seed: int, schedule: Sequence[Fault],
     env.heal_everything()
     env.simulator.run(until=env.simulator.now + config.settle_after_heal)
 
-    checks = [check_convergence(env),
-              check_session_guarantees(history),
-              check_calm_coordination_free(history, env),
-              check_gossip_byte_budget(env),
-              check_bounded_staleness(history, env,
-                                      full_sync_every=config.full_sync_every,
-                                      gossip_interval=config.gossip_interval)]
+    diagnosis = diagnose(env, history)
+    suite: list[tuple[str, object]] = [
+        ("convergence", lambda: check_convergence(env)),
+        ("session-guarantees", lambda: check_session_guarantees(history)),
+        ("calm-coordination-free",
+         lambda: check_calm_coordination_free(history, env)),
+        ("gossip-byte-budget", lambda: check_gossip_byte_budget(env)),
+        ("bounded-staleness",
+         lambda: check_bounded_staleness(
+             history, env, full_sync_every=config.full_sync_every,
+             gossip_interval=config.gossip_interval)),
+        ("fault-localization",
+         lambda: check_fault_localization(env, history, report=diagnosis)),
+    ]
     if "cart" in active:
-        checks.append(check_cart_integrity(history, env, active["cart"]))
+        suite.append(("cart-integrity",
+                      lambda: check_cart_integrity(history, env,
+                                                   active["cart"])))
     if "causal" in active:
-        checks.append(check_causal(active["causal"].deliveries))
+        suite.append(("causal-safety",
+                      lambda: check_causal(active["causal"].deliveries)))
     if "paxos" in active:
-        checks.append(check_paxos_safety(active["paxos"].log.replicas,
-                                         active["paxos"].applied))
+        suite.append(("paxos-safety",
+                      lambda: check_paxos_safety(active["paxos"].log.replicas,
+                                                 active["paxos"].applied)))
+        suite.append(("linearizable", lambda: check_linearizable(history)))
+    if checker is not None:
+        names = [name for name, _ in suite]
+        if checker not in names:
+            raise ValueError(f"unknown checker {checker!r}; "
+                             f"available: {', '.join(names)}")
+        suite = [(name, thunk) for name, thunk in suite if name == checker]
+    checks = [thunk() for _, thunk in suite]
     return ScenarioResult(seed=seed, schedule=list(schedule), checks=checks,
                           history=history, env=env,
-                          sim_duration=env.simulator.now)
+                          sim_duration=env.simulator.now,
+                          diagnosis=diagnosis)
 
 
 def fast_config() -> ChaosConfig:

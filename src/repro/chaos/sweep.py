@@ -27,9 +27,11 @@ import json
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.chaos.diagnosis import score_against_ground_truth
 from repro.chaos.nemesis import (
     ClockSkew,
     Congestion,
+    CrashClient,
     CrashReplica,
     DomainOutage,
     DropSpike,
@@ -54,15 +56,22 @@ def standard_schedule(reshard_to: int = 4) -> list[Fault]:
     """The default gauntlet: every nemesis primitive, overlapping in time.
 
     Covers the acceptance matrix explicitly: a multi-wave partition storm,
-    a state-losing crash, a domain-wide outage, latency, drop and
-    congestion spikes, a gray-failure slow node, a skewed clock, and a
-    reshard fired while all of it is in flight.
+    a state-losing crash, a crash-faulty client, a domain-wide outage,
+    latency, drop and congestion spikes, a gray-failure slow node, a
+    skewed clock, and a reshard fired while all of it is in flight.
+
+    The slow node is index 5 into the sorted registered ids —
+    ``chaos-kv-client-0``, a straggling *client* — deliberately paired
+    with the :class:`CrashClient` on the *other* KVS client: the
+    localizer must tell "slow but alive" from "crashed mid-operation" on
+    two machines with identical roles.
     """
     return [
         PartitionStorm(at=20.0, duration=40.0, waves=2, gap=15.0),
         DropSpike(at=30.0, duration=50.0, drop_rate=0.25),
         CrashReplica(at=45.0, index=1, downtime=70.0, lose_state=True),
-        SlowNode(at=50.0, index=2, duration=45.0, factor=4.0),
+        SlowNode(at=42.0, index=5, duration=58.0, factor=4.0),
+        CrashClient(at=55.0, index=1, downtime=50.0),
         ReshardUnderFire(at=60.0, new_shard_count=reshard_to),
         ClockSkew(at=65.0, index=1, duration=50.0, offset=20.0, drift=1.25),
         CrashReplica(at=75.0, index=0, downtime=40.0, pool="all"),
@@ -138,15 +147,18 @@ class SweepReport:
 
 def replay(seed: int, schedule: Sequence[Fault],
            config: Optional[ChaosConfig] = None,
-           workloads: Sequence[str] = ALL_WORKLOADS) -> ScenarioResult:
+           workloads: Sequence[str] = ALL_WORKLOADS,
+           checker: Optional[str] = None) -> ScenarioResult:
     """Re-run one seed exactly; identical inputs give identical verdicts."""
-    return run_scenario(seed, schedule, config=config, workloads=workloads)
+    return run_scenario(seed, schedule, config=config, workloads=workloads,
+                        checker=checker)
 
 
 def shrink(seed: int, schedule: Sequence[Fault],
            config: Optional[ChaosConfig] = None,
            workloads: Sequence[str] = ALL_WORKLOADS,
-           known_failing: Optional[ScenarioResult] = None
+           known_failing: Optional[ScenarioResult] = None,
+           checker: Optional[str] = None
            ) -> tuple[list[Fault], ScenarioResult]:
     """Greedily minimize a failing schedule; every step re-verified by rerun.
 
@@ -158,7 +170,7 @@ def shrink(seed: int, schedule: Sequence[Fault],
     """
     current = list(schedule)
     result = known_failing if known_failing is not None else run_scenario(
-        seed, current, config=config, workloads=workloads)
+        seed, current, config=config, workloads=workloads, checker=checker)
     if result.passed:
         raise ValueError(f"seed {seed} does not fail under the given schedule")
     progressed = True
@@ -167,7 +179,7 @@ def shrink(seed: int, schedule: Sequence[Fault],
         for index in range(len(current)):
             candidate = current[:index] + current[index + 1:]
             attempt = run_scenario(seed, candidate, config=config,
-                                   workloads=workloads)
+                                   workloads=workloads, checker=checker)
             if not attempt.passed:
                 current = candidate
                 result = attempt
@@ -202,18 +214,21 @@ def repro_snippet(seed: int, schedule: Sequence[Fault],
 def sweep(seeds: Sequence[int], schedule: Sequence[Fault],
           config: Optional[ChaosConfig] = None,
           workloads: Sequence[str] = ALL_WORKLOADS,
-          shrink_failures: bool = True) -> SweepReport:
+          shrink_failures: bool = True,
+          checker: Optional[str] = None) -> SweepReport:
     """Run the schedule across every seed; shrink and package any failure."""
     report = SweepReport(schedule=list(schedule))
     for seed in seeds:
-        result = run_scenario(seed, schedule, config=config, workloads=workloads)
+        result = run_scenario(seed, schedule, config=config,
+                              workloads=workloads, checker=checker)
         report.results.append(result)
         if result.passed:
             continue
         minimized = list(schedule)
         if shrink_failures:
             minimized, _ = shrink(seed, schedule, config=config,
-                                  workloads=workloads, known_failing=result)
+                                  workloads=workloads, known_failing=result,
+                                  checker=checker)
         report.failures.append(SeedFailure(
             seed=seed,
             failures=result.failures,
@@ -239,6 +254,17 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
                         help="replay every failure in a CHAOS_failures.json")
     parser.add_argument("--no-shrink", action="store_true",
                         help="skip shrinking failing schedules")
+    parser.add_argument("--checker", metavar="NAME",
+                        help="run only the named checker (e.g. "
+                             "'linearizable', 'fault-localization'); "
+                             "default runs the full suite")
+    parser.add_argument("--diagnose", action="store_true",
+                        help="print each seed's fault-localization blame "
+                             "report (inferred culprits vs the nemesis "
+                             "ground truth)")
+    parser.add_argument("--diagnosis-out", default="CHAOS_diagnosis.json",
+                        help="blame-report artifact path (written on "
+                             "sweep failure, or always with --diagnose)")
     parser.add_argument("--sanitize", action="store_true",
                         help="enable the payload mutation-after-queue "
                              "sanitizer (trace-identical; raises "
@@ -273,10 +299,38 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
                                  perturb_order=args.perturb_order)
     report = sweep(range(args.seeds), standard_schedule(),
                    config=config,
-                   shrink_failures=not args.no_shrink)
+                   shrink_failures=not args.no_shrink,
+                   checker=args.checker)
     print(report.summary())
     with open(args.out, "w") as handle:
         json.dump(report.to_dict(), handle, indent=2)
+    if args.diagnose:
+        for result in report.results:
+            if result.diagnosis is not None:
+                print(f"seed {result.seed}")
+                print(result.diagnosis.render())
+    if report.failures or args.diagnose:
+        # Blame reports for every seed (scored against the nemesis
+        # footprint) — the CI artifact a human starts from when a sweep
+        # goes red.
+        entries = []
+        for result in report.results:
+            if result.diagnosis is None:
+                continue
+            score = score_against_ground_truth(result.diagnosis, result.env,
+                                               result.history)
+            entries.append({
+                "seed": result.seed,
+                "passed": result.passed,
+                "diagnosis": result.diagnosis.to_dict(),
+                "precision": score["precision"],
+                "recall": score["recall"],
+                "blamed": [list(map(str, s)) for s in score["blamed"]],
+                "truth": [list(map(str, s)) for s in score["truth"]],
+                "misses": [list(map(str, s)) for s in score["misses"]],
+            })
+        with open(args.diagnosis_out, "w") as handle:
+            json.dump({"seeds": entries}, handle, indent=2)
     if report.failures:
         with open(args.failures_out, "w") as handle:
             json.dump({"failures": [failure.to_dict()

@@ -33,23 +33,47 @@ from repro.storage import KVSClient
 
 
 class RecordingKVSClient(KVSClient):
-    """A :class:`KVSClient` that records invoke/ok events into a history."""
+    """A :class:`KVSClient` that records invoke/ok events into a history.
+
+    Crash semantics: killing the client freezes every in-flight op as
+    ``PENDING`` — the request may already be on the wire and a lattice put
+    is idempotent replica-side, so the outcome is permanently indeterminate
+    (Jepsen ``:info``), never a clean failure.  Ops carry the client's
+    ``incarnation`` so checkers can tell the dead session's ops from the
+    replacement identity's.
+    """
 
     def __init__(self, node_id, simulator, network, kvs, history: History) -> None:
         super().__init__(node_id, simulator, network, kvs)
         self.history = history
         self._inflight: dict[int, Op] = {}
 
-    def put_recorded(self, key: Hashable, value, action: str = "put") -> Op:
+    def put_recorded(self, key: Hashable, value, action: str = "put") -> Optional[Op]:
+        if not self.alive:
+            return None  # a crashed client issues nothing
         op = self.history.invoke(self.node_id, action, key, value,
                                  at=self.simulator.now)
+        op.info["incarnation"] = self.incarnation
         self._inflight[self.put(key, value)] = op
         return op
 
-    def get_recorded(self, key: Hashable) -> Op:
+    def get_recorded(self, key: Hashable) -> Optional[Op]:
+        if not self.alive:
+            return None
         op = self.history.invoke(self.node_id, "get", key, at=self.simulator.now)
+        op.info["incarnation"] = self.incarnation
         self._inflight[self.get(key)] = op
         return op
+
+    def crash(self) -> None:
+        # Mark before the transport drops its pending RPC table: once the
+        # client is down no response can ever be observed, so every
+        # in-flight op's outcome is frozen as indeterminate.
+        for request_id in sorted(self._inflight):
+            self.history.mark_pending(self._inflight[request_id],
+                                      at=self.simulator.now)
+        self._inflight.clear()
+        super().crash()
 
     def _on_put_ack(self, message: Message) -> None:
         super()._on_put_ack(message)
@@ -81,6 +105,7 @@ class KVSWorkload:
                                env.network, env.kvs, history)
             for i in range(clients)
         ]
+        env.register_clients(self.clients)
         # Precomputed plan: (client_index, fire_time, action, key, element).
         self.plan: list[tuple[int, float, str, str, str]] = []
         for i in range(clients):
@@ -178,6 +203,8 @@ class CartWorkload:
     def _record_cart_op(self, client: RecordingKVSClient, session: int,
                         action: str, item: str, value: TwoPhaseSet) -> None:
         op = client.put_recorded(self.cart_key(session), value, action=action)
+        if op is None:
+            return
         op.info["item"] = item
         op.info["session"] = session
 
@@ -192,6 +219,8 @@ class CartWorkload:
         manifest = frozenset(acked_adds - removed)
         op = client.put_recorded(self.order_key(session), SetUnion(manifest),
                                  action="seal")
+        if op is None:
+            return
         op.info["session"] = session
         op.info["manifest"] = manifest
         client.put_recorded(self.sealed_key(session), BoolOr(True), action="seal")

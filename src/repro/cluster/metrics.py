@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Hashable, Iterable
 
 
 @dataclass
@@ -55,6 +55,106 @@ class LatencyRecorder:
         return self.percentile(99)
 
 
+@dataclass
+class LinkWindowStats:
+    """End-to-end observations for one directed link in one time bucket."""
+
+    sent_messages: int = 0
+    sent_bytes: int = 0
+    dropped_messages: int = 0
+    dropped_bytes: int = 0
+    delivered_messages: int = 0
+    latency_total: float = 0.0
+    latency_max: float = 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.delivered_messages:
+            return 0.0
+        return self.latency_total / self.delivered_messages
+
+    @property
+    def drop_fraction(self) -> float:
+        if not self.sent_messages:
+            return 0.0
+        return self.dropped_messages / self.sent_messages
+
+
+class LinkObservatory:
+    """Windowed per-link observations — the raw material of tomography.
+
+    The cumulative ledgers (``Network.link_byte_stats``, ``net.delivery``)
+    answer *whether* a link ever degraded; localizing *when* — and telling a
+    40-tick latency spike from a whole-run slow link — needs observations
+    bucketed by time.  Each directed link accumulates per-bucket send/drop
+    counts and delivery latencies, keyed by the bucket of the message's
+    *send* time (a message sent during a spike experiences the spike, even
+    if it lands after the heal).
+
+    This is strictly end-to-end data: everything here is observable from
+    message sends and arrivals alone, never from simulator or nemesis
+    internals — which is what entitles :mod:`repro.chaos.diagnosis` to use
+    it as evidence.
+    """
+
+    def __init__(self, bucket_width: float = 20.0) -> None:
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be positive, got {bucket_width}")
+        self.bucket_width = bucket_width
+        self._stats: dict[tuple[Hashable, Hashable, int], LinkWindowStats] = {}
+
+    def bucket_of(self, at: float) -> int:
+        return int(at // self.bucket_width)
+
+    def _stat(self, link: tuple[Hashable, Hashable], at: float) -> LinkWindowStats:
+        key = (link[0], link[1], self.bucket_of(at))
+        stat = self._stats.get(key)
+        if stat is None:
+            stat = self._stats[key] = LinkWindowStats()
+        return stat
+
+    def on_sent(self, link: tuple[Hashable, Hashable], at: float,
+                size_bytes: int) -> None:
+        stat = self._stat(link, at)
+        stat.sent_messages += 1
+        stat.sent_bytes += size_bytes
+
+    def on_dropped(self, link: tuple[Hashable, Hashable], at: float,
+                   size_bytes: int) -> None:
+        stat = self._stat(link, at)
+        stat.dropped_messages += 1
+        stat.dropped_bytes += size_bytes
+
+    def on_delivered(self, link: tuple[Hashable, Hashable], sent_at: float,
+                     latency: float) -> None:
+        stat = self._stat(link, sent_at)
+        stat.delivered_messages += 1
+        stat.latency_total += latency
+        stat.latency_max = max(stat.latency_max, latency)
+
+    # -- views -------------------------------------------------------------------
+
+    def buckets(self) -> list[int]:
+        """All bucket indices with any observation, ascending."""
+        return sorted({bucket for _, _, bucket in self._stats})
+
+    def links(self) -> list[tuple[Hashable, Hashable]]:
+        """All observed directed links, sorted for stable iteration."""
+        return sorted({(src, dst) for src, dst, _ in self._stats},
+                      key=lambda link: (str(link[0]), str(link[1])))
+
+    def window(self, bucket: int) -> dict[tuple[Hashable, Hashable], LinkWindowStats]:
+        """Per-link stats for one bucket (links with observations only)."""
+        return {(src, dst): stat
+                for (src, dst, b), stat in self._stats.items() if b == bucket}
+
+    def bucket_span(self, bucket: int) -> tuple[float, float]:
+        return (bucket * self.bucket_width, (bucket + 1) * self.bucket_width)
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+
 class MetricsRegistry:
     """A named collection of counters, gauges and latency recorders."""
 
@@ -62,6 +162,7 @@ class MetricsRegistry:
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
         self._latencies: dict[str, LatencyRecorder] = {}
+        self._keyed: dict[str, dict[Hashable, float]] = {}
 
     # -- counters ---------------------------------------------------------------
 
@@ -70,6 +171,25 @@ class MetricsRegistry:
 
     def counter(self, name: str) -> float:
         return self._counters.get(name, 0.0)
+
+    # -- keyed counters ----------------------------------------------------------
+
+    def increment_keyed(self, name: str, key: Hashable, amount: float = 1.0) -> None:
+        """Increment one member of a counter family (e.g. per-destination).
+
+        Keyed counters keep a breakdown the flat counters flatten away:
+        ``transport.rpc_timeouts`` says how many RPCs died, the keyed family
+        ``transport.rpc_timeouts_to`` says *toward whom* — which is the
+        difference between detecting a failure and localizing it.
+        """
+        family = self._keyed.setdefault(name, {})
+        family[key] = family.get(key, 0.0) + amount
+
+    def keyed_counter(self, name: str, key: Hashable) -> float:
+        return self._keyed.get(name, {}).get(key, 0.0)
+
+    def keyed_counters(self, name: str) -> dict[Hashable, float]:
+        return dict(self._keyed.get(name, {}))
 
     # -- gauges -----------------------------------------------------------------
 
@@ -110,3 +230,4 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._latencies.clear()
+        self._keyed.clear()

@@ -194,7 +194,7 @@ class Network:
     def __init__(self, simulator: Simulator, config: NetworkConfig | None = None,
                  transport=None, metrics=None) -> None:
         # Imported here: transport.py sizes envelopes via this module.
-        from repro.cluster.metrics import MetricsRegistry
+        from repro.cluster.metrics import LinkObservatory, MetricsRegistry
         from repro.cluster.transport import TransportConfig
 
         self.simulator = simulator
@@ -231,6 +231,10 @@ class Network:
         #: Opt-in for the ``net.delivery`` latency recorder while the model
         #: is off (with the model on, every delivery is recorded).
         self.record_delivery_latency = False
+        #: Windowed per-link observations (sends, drops, delivery latency),
+        #: maintained under the same gate as the latency recorder — the raw
+        #: material :mod:`repro.chaos.diagnosis` runs tomography over.
+        self.observatory = LinkObservatory()
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -381,6 +385,11 @@ class Network:
                 stat = self._link_stat((source, destination))
                 stat["enqueued_bytes"] += size_bytes
                 stat["dropped_bytes"] += size_bytes
+            if self._observing():
+                self.observatory.on_sent((source, destination),
+                                         message.sent_at, size_bytes)
+                self.observatory.on_dropped((source, destination),
+                                            message.sent_at, size_bytes)
             return message
         if self.config.drop_rate and self.simulator.rng.random() < self.config.drop_rate:
             self.messages_dropped += 1
@@ -388,8 +397,16 @@ class Network:
                 stat = self._link_stat((source, destination))
                 stat["enqueued_bytes"] += size_bytes
                 stat["dropped_bytes"] += size_bytes
+            if self._observing():
+                self.observatory.on_sent((source, destination),
+                                         message.sent_at, size_bytes)
+                self.observatory.on_dropped((source, destination),
+                                            message.sent_at, size_bytes)
             return message
 
+        if self._observing():
+            self.observatory.on_sent((source, destination),
+                                     message.sent_at, size_bytes)
         timing = self._schedule_delivery(message)
         self.last_transmission = timing
         # Message is frozen; the transmission cost rides along out-of-band
@@ -410,6 +427,15 @@ class Network:
     def _link_model_active(self) -> bool:
         config = self.config
         return config.bandwidth is not None or config.delay_matrix is not None
+
+    def _observing(self) -> bool:
+        """Whether the windowed link observatory accumulates samples.
+
+        Same gate as the ``net.delivery`` recorder: always with the
+        transmission model on, opt-in otherwise — a model-off soak run
+        should not grow a per-link time series it never reads.
+        """
+        return self._link_model_active() or self.record_delivery_latency
 
     def _link_stat(self, link: tuple[Hashable, Hashable]) -> dict[str, int]:
         stat = self._link_stats.get(link)
@@ -513,19 +539,27 @@ class Network:
             self.messages_dropped += 1
             if self._link_model_active():
                 self._link_stat(link)["dropped_bytes"] += message.size_bytes
+            if self._observing():
+                self.observatory.on_dropped(link, message.sent_at,
+                                            message.size_bytes)
             return
         handler = self._handlers.get(message.destination)
         if handler is None:
             self.messages_dropped += 1
             if self._link_model_active():
                 self._link_stat(link)["dropped_bytes"] += message.size_bytes
+            if self._observing():
+                self.observatory.on_dropped(link, message.sent_at,
+                                            message.size_bytes)
             return
         self.messages_delivered += 1
         if self._link_model_active():
             self._link_stat(link)["delivered_bytes"] += message.size_bytes
-        if self._link_model_active() or self.record_delivery_latency:
+        if self._observing():
             # Gated so a model-off soak run does not accumulate one sample
             # per delivered message it never reads.
             self.metrics.record_latency("net.delivery",
                                         self.simulator.now - message.sent_at)
+            self.observatory.on_delivered(link, message.sent_at,
+                                          self.simulator.now - message.sent_at)
         handler(message)

@@ -476,6 +476,7 @@ class Transport:
                                   on_reply=on_reply, on_timeout=on_timeout)
         self._pending[rpc_id] = pending
         self.metrics.increment("transport.rpc_requests")
+        self.metrics.increment_keyed("transport.rpc_requests_to", destination)
         self.queue(destination, mailbox, payload, entries, _parcel=parcel)
         self._arm_timer(pending)
         return rpc_id
@@ -498,11 +499,15 @@ class Transport:
         if pending.attempts >= pending.policy.max_attempts:
             del self._pending[rpc_id]
             self.metrics.increment("transport.rpc_timeouts")
+            self.metrics.increment_keyed("transport.rpc_timeouts_to",
+                                         pending.destination)
             if pending.on_timeout is not None:
                 pending.on_timeout()
             return
         pending.attempts += 1
         self.metrics.increment("transport.rpc_retries")
+        self.metrics.increment_keyed("transport.rpc_retries_to",
+                                     pending.destination)
         self.queue(pending.destination, pending.parcel.mailbox,
                    pending.parcel.payload, pending.parcel.entries,
                    _parcel=pending.parcel)

@@ -46,6 +46,10 @@ class KVSClient(Node):
         self.pending_gets: dict[int, Callable[[Optional[Lattice]], None]] = {}
         self.completed_gets: dict[int, Optional[Lattice]] = {}
         self.acked_puts: set[int] = set()
+        #: Session epoch.  A crash+lose-state recovery is a *new* session
+        #: under a reused node id, so the counter bumps in ``reset_state``
+        #: and session-guarantee checkers judge each incarnation separately.
+        self.incarnation = 0
         self._ids = itertools.count()
         self.on("get_reply", self._on_get_reply)
         self.on("put_ack", self._on_put_ack)
@@ -98,6 +102,25 @@ class KVSClient(Node):
 
     def _on_put_ack(self, message: Message) -> None:
         self.acked_puts.add(message.payload["request_id"])
+
+    # -- failure ----------------------------------------------------------------------
+
+    def reset_state(self) -> None:
+        """Drop all session state on a lose-state recovery.
+
+        Session guarantees are *per session*: read-your-writes and monotonic
+        reads promise only that a session never loses sight of its own
+        frontier.  A client that crashed and came back is a replacement
+        identity — letting it inherit the dead session's caches would
+        smuggle the old frontier into the new session and fabricate
+        guarantees the store never made across the crash boundary.
+        """
+        self.session_writes = MapLattice()
+        self.session_reads = MapLattice()
+        self.pending_gets.clear()
+        self.completed_gets.clear()
+        self.acked_puts.clear()
+        self.incarnation += 1
 
     # -- introspection ----------------------------------------------------------------
 

@@ -1,0 +1,143 @@
+"""Wing & Gong checker: unit histories plus the seeded-violation fixture.
+
+Every test builds a tiny hand-written history; the semantics under test
+are the ones the chaos sweep relies on — pending (crashed-client) ops may
+linearize anywhere after invocation *or never*, failed ops are excluded,
+and a real-time/slot-order contradiction is rejected.
+"""
+
+from repro.chaos.history import History
+from repro.chaos.linearizability import (
+    CLOSED,
+    EXCLUDED,
+    OPEN,
+    SequentialLogModel,
+    check_linearizable,
+    find_linearization,
+)
+
+MODEL = SequentialLogModel()
+
+
+def propose(history, client, value, at):
+    return history.invoke(client, "propose", key=value, at=at)
+
+
+def chosen(history, op, slot, value=None, at=None):
+    """Complete ``op`` observing ``(slot, value)`` — its own value by default."""
+    return history.complete(
+        op, result=(slot, value if value is not None else op.key),
+        at=at if at is not None else op.invoked_at + 1.0)
+
+
+class TestClassification:
+    def test_ok_with_own_value_is_closed(self):
+        history = History()
+        op = chosen(history, propose(history, "p0", "A", at=1.0), 0)
+        assert MODEL.classify(op) == CLOSED
+
+    def test_ok_with_foreign_value_is_open(self):
+        # A failover re-proposed the slot: this proposer's append never
+        # took effect, so nothing pins its place in the order.
+        history = History()
+        op = chosen(history, propose(history, "p0", "A", at=1.0), 0, value="B")
+        assert MODEL.classify(op) == OPEN
+
+    def test_invoked_and_pending_are_open_and_fail_is_excluded(self):
+        history = History()
+        forever = propose(history, "p0", "A", at=1.0)
+        crashed = propose(history, "p1", "B", at=2.0)
+        history.mark_pending(crashed, at=3.0)
+        failed = propose(history, "p2", "C", at=2.5)
+        history.fail(failed, error="rejected", at=4.0)
+        assert MODEL.classify(forever) == OPEN
+        assert MODEL.classify(crashed) == OPEN
+        assert MODEL.classify(failed) == EXCLUDED
+
+
+class TestFindLinearization:
+    def test_empty_history_linearizes(self):
+        assert find_linearization([], MODEL) == []
+
+    def test_sequential_proposals_linearize_in_slot_order(self):
+        history = History()
+        first = chosen(history, propose(history, "p0", "A", at=1.0), 0, at=2.0)
+        second = chosen(history, propose(history, "p1", "B", at=3.0), 1, at=4.0)
+        assert find_linearization(history.ops, MODEL) == [first.op_id,
+                                                          second.op_id]
+
+    def test_concurrent_proposals_linearize_either_way(self):
+        history = History()
+        a = propose(history, "p0", "A", at=1.0)
+        b = propose(history, "p1", "B", at=1.5)
+        chosen(history, b, 0, at=5.0)
+        chosen(history, a, 1, at=6.0)
+        assert find_linearization(history.ops, MODEL) == [b.op_id, a.op_id]
+
+    def test_real_time_slot_inversion_has_no_linearization(self):
+        # A completed at slot 1 strictly before B was even invoked, yet B
+        # observed slot 0: real time demands A first, the log demands B
+        # first.  The seeded violation the checker must reject.
+        history = History()
+        a = chosen(history, propose(history, "p0", "A", at=1.0), 1, at=2.0)
+        b = chosen(history, propose(history, "p1", "B", at=3.0), 0, at=4.0)
+        assert find_linearization([a, b], MODEL) is None
+
+    def test_pending_op_may_fill_a_skipped_slot(self):
+        # The crashed client's proposal is the only way slot 0 got filled;
+        # the checker must be willing to linearize it even though no
+        # response was ever observed.
+        history = History()
+        ghost = propose(history, "p0", "A", at=1.0)
+        history.mark_pending(ghost, at=2.0)
+        landed = chosen(history, propose(history, "p1", "B", at=3.0), 1, at=4.0)
+        assert find_linearization(history.ops, MODEL) == [ghost.op_id,
+                                                          landed.op_id]
+
+    def test_pending_op_need_not_linearize_at_all(self):
+        history = History()
+        ghost = propose(history, "p0", "A", at=1.0)
+        history.mark_pending(ghost, at=2.0)
+        landed = chosen(history, propose(history, "p1", "B", at=3.0), 0, at=4.0)
+        assert find_linearization(history.ops, MODEL) == [landed.op_id]
+
+    def test_failed_op_cannot_fill_a_gap(self):
+        # FAIL means definitely-did-not-take-effect: unlike a pending op it
+        # may not be drafted to explain a skipped slot.
+        history = History()
+        failed = propose(history, "p0", "A", at=1.0)
+        history.fail(failed, error="rejected", at=2.0)
+        landed = chosen(history, propose(history, "p1", "B", at=3.0), 1, at=4.0)
+        assert find_linearization(history.ops, MODEL) is None
+
+
+class TestCheckLinearizable:
+    def test_clean_history_passes(self):
+        history = History()
+        chosen(history, propose(history, "p0", "A", at=1.0), 0, at=2.0)
+        chosen(history, propose(history, "p1", "B", at=3.0), 1, at=4.0)
+        assert check_linearizable(history).ok
+
+    def test_seeded_violation_is_rejected_with_evidence(self):
+        history = History()
+        chosen(history, propose(history, "p0", "A", at=1.0), 1, at=2.0)
+        chosen(history, propose(history, "p1", "B", at=3.0), 0, at=4.0)
+        result = check_linearizable(history)
+        assert not result.ok
+        assert any("no legal linearization" in line
+                   for line in result.failures)
+
+    def test_duplicate_slot_is_called_out_directly(self):
+        history = History()
+        chosen(history, propose(history, "p0", "A", at=1.0), 0, at=2.0)
+        chosen(history, propose(history, "p1", "B", at=3.0), 0, at=4.0)
+        result = check_linearizable(history)
+        assert not result.ok
+        assert any("slot 0 chosen for two distinct proposals" in line
+                   for line in result.failures)
+
+    def test_non_propose_ops_are_ignored(self):
+        history = History()
+        put = history.invoke("c0", "put", key="k", value="v", at=1.0)
+        history.complete(put, at=2.0)
+        assert check_linearizable(history).ok
