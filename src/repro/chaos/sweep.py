@@ -9,6 +9,14 @@ RNG-free and workload plans depend only on the seed (see
 :mod:`repro.chaos.nemesis`), the shrunken schedule is verified by direct
 re-execution at every step, never by assumption.
 
+Seeds are embarrassingly parallel — each scenario is a pure function of
+``(seed, schedule, config, workloads)`` and determinism is per-seed, never
+cross-seed — so ``sweep(..., jobs=N)`` (CLI ``--jobs N``) fans seeds out to
+worker processes.  Both modes run the same per-seed function and aggregate
+the same picklable :class:`SeedOutcome`, so every artifact a parallel sweep
+writes is byte-identical to the serial one (asserted by
+``tests/chaos/test_parallel_sweep.py``).
+
 The repro for a failing seed is copy-pasteable Python
 (:func:`repro_snippet`) plus a JSON form for CI artifacts.  Run the CI
 sweep locally with::
@@ -109,12 +117,48 @@ class SeedFailure:
 
 
 @dataclass
+class SeedOutcome:
+    """One seed's complete verdict, with no live environment attached.
+
+    This is the unit a parallel sweep sends back from a worker process —
+    :class:`~repro.chaos.scenario.ScenarioResult` holds the simulated
+    cluster (closures, the simulator heap) and cannot cross a process
+    boundary, so everything the aggregation and the CLI artifacts consume
+    (verdict, violations, minimized repro, rendered diagnosis, tomography
+    score) is extracted *in the worker* while the environment is alive.
+    Serial sweeps build the identical object in-process, which is what
+    makes ``--jobs 1`` and ``--jobs N`` artifacts byte-identical.
+    """
+
+    seed: int
+    passed: bool
+    failures: list[str]
+    #: ``len(result.history)`` — the ops_total contribution.
+    ops: int
+    #: The minimized still-failing schedule (``None`` for passing seeds).
+    minimized: Optional[list[Fault]] = None
+    repro: Optional[str] = None
+    #: ``diagnosis.to_dict()`` / ``diagnosis.render()`` (``None`` when the
+    #: scenario produced no blame report).
+    diagnosis: Optional[dict] = None
+    diagnosis_render: Optional[str] = None
+    #: Tomography score vs the nemesis ground truth, already JSON-shaped
+    #: (precision/recall floats, stringified link lists).
+    score: Optional[dict] = None
+
+
+@dataclass
 class SweepReport:
     """The aggregate outcome of one multi-seed sweep."""
 
     schedule: list[Fault]
+    #: Live per-seed results; populated by serial sweeps only (worker
+    #: processes cannot ship a simulated cluster back — see SeedOutcome).
     results: list[ScenarioResult] = field(default_factory=list)
     failures: list[SeedFailure] = field(default_factory=list)
+    #: Per-seed verdicts, identical in serial and parallel runs; the
+    #: summary and artifacts are derived exclusively from these.
+    outcomes: list[SeedOutcome] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
@@ -125,7 +169,7 @@ class SweepReport:
         return [failure.seed for failure in self.failures]
 
     def summary(self) -> str:
-        lines = [f"chaos sweep: {len(self.results)} seeds, "
+        lines = [f"chaos sweep: {len(self.outcomes)} seeds, "
                  f"{len(self.failures)} failing"]
         for failure in self.failures:
             lines.append(f"  seed {failure.seed}: {len(failure.failures)} "
@@ -137,11 +181,11 @@ class SweepReport:
 
     def to_dict(self) -> dict:
         return {
-            "seeds": [result.seed for result in self.results],
+            "seeds": [outcome.seed for outcome in self.outcomes],
             "passed": self.passed,
             "schedule": schedule_to_dicts(self.schedule),
             "failures": [failure.to_dict() for failure in self.failures],
-            "ops_total": sum(len(result.history) for result in self.results),
+            "ops_total": sum(outcome.ops for outcome in self.outcomes),
         }
 
 
@@ -211,29 +255,106 @@ def repro_snippet(seed: int, schedule: Sequence[Fault],
     )
 
 
-def sweep(seeds: Sequence[int], schedule: Sequence[Fault],
-          config: Optional[ChaosConfig] = None,
-          workloads: Sequence[str] = ALL_WORKLOADS,
-          shrink_failures: bool = True,
-          checker: Optional[str] = None) -> SweepReport:
-    """Run the schedule across every seed; shrink and package any failure."""
-    report = SweepReport(schedule=list(schedule))
-    for seed in seeds:
-        result = run_scenario(seed, schedule, config=config,
-                              workloads=workloads, checker=checker)
-        report.results.append(result)
-        if result.passed:
-            continue
+def _run_seed(seed: int, schedule: tuple, config: Optional[ChaosConfig],
+              workloads: tuple, shrink_failures: bool,
+              checker: Optional[str]) -> tuple[SeedOutcome, ScenarioResult]:
+    """Run one seed end to end: scenario, shrink on failure, diagnosis score.
+
+    The single per-seed code path both sweep modes share — serial callers
+    keep the live :class:`ScenarioResult`, workers ship only the outcome.
+    """
+    result = run_scenario(seed, schedule, config=config, workloads=workloads,
+                          checker=checker)
+    minimized: Optional[list[Fault]] = None
+    repro: Optional[str] = None
+    if not result.passed:
         minimized = list(schedule)
         if shrink_failures:
             minimized, _ = shrink(seed, schedule, config=config,
                                   workloads=workloads, known_failing=result,
                                   checker=checker)
+        repro = repro_snippet(seed, minimized, config, workloads)
+    diagnosis_dict: Optional[dict] = None
+    diagnosis_render: Optional[str] = None
+    score_entry: Optional[dict] = None
+    if result.diagnosis is not None:
+        diagnosis_dict = result.diagnosis.to_dict()
+        diagnosis_render = result.diagnosis.render()
+        score = score_against_ground_truth(result.diagnosis, result.env,
+                                           result.history)
+        score_entry = {
+            "precision": score["precision"],
+            "recall": score["recall"],
+            "blamed": [list(map(str, s)) for s in score["blamed"]],
+            "truth": [list(map(str, s)) for s in score["truth"]],
+            "misses": [list(map(str, s)) for s in score["misses"]],
+        }
+    outcome = SeedOutcome(
+        seed=seed,
+        passed=result.passed,
+        failures=list(result.failures),
+        ops=len(result.history),
+        minimized=minimized,
+        repro=repro,
+        diagnosis=diagnosis_dict,
+        diagnosis_render=diagnosis_render,
+        score=score_entry,
+    )
+    return outcome, result
+
+
+def _run_seed_task(task: tuple) -> SeedOutcome:
+    """Pool worker entry point: run a seed, return only the picklable part."""
+    return _run_seed(*task)[0]
+
+
+def sweep(seeds: Sequence[int], schedule: Sequence[Fault],
+          config: Optional[ChaosConfig] = None,
+          workloads: Sequence[str] = ALL_WORKLOADS,
+          shrink_failures: bool = True,
+          checker: Optional[str] = None,
+          jobs: int = 1) -> SweepReport:
+    """Run the schedule across every seed; shrink and package any failure.
+
+    ``jobs > 1`` fans seeds out to that many worker processes.  Each seed
+    is already a sealed deterministic universe (its own simulator, its own
+    RNG), so parallel outcomes — verdicts, shrunk schedules, diagnosis
+    scores — are byte-identical to a serial run; only ``report.results``
+    (the live environments) is serial-only.
+    """
+    report = SweepReport(schedule=list(schedule))
+    tasks = [(seed, tuple(schedule), config, tuple(workloads),
+              shrink_failures, checker) for seed in seeds]
+    if jobs > 1 and len(tasks) > 1:
+        import multiprocessing
+
+        try:
+            # fork shares the warmed-up interpreter; spawn (the only option
+            # on some platforms) re-imports but inherits the environment —
+            # either way PYTHONHASHSEED carries over and per-seed
+            # determinism never depended on it in the first place.
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            context = multiprocessing.get_context("spawn")
+        with context.Pool(min(jobs, len(tasks))) as pool:
+            # chunksize=1: seeds have wildly different costs (a failing
+            # seed shrinks by re-running the scenario a dozen times), so
+            # fine-grained dealing beats pre-chunking.  map preserves
+            # input order, which is all aggregation relies on.
+            report.outcomes = pool.map(_run_seed_task, tasks, chunksize=1)
+    else:
+        for task in tasks:
+            outcome, result = _run_seed(*task)
+            report.outcomes.append(outcome)
+            report.results.append(result)
+    for outcome in report.outcomes:
+        if outcome.passed:
+            continue
         report.failures.append(SeedFailure(
-            seed=seed,
-            failures=result.failures,
-            minimized=minimized,
-            repro=repro_snippet(seed, minimized, config, workloads),
+            seed=outcome.seed,
+            failures=outcome.failures,
+            minimized=list(outcome.minimized),
+            repro=outcome.repro,
             config=config,
             workloads=tuple(workloads)))
     return report
@@ -246,6 +367,10 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         description="Run a chaos sweep (or replay a failing artifact).")
     parser.add_argument("--seeds", type=int, default=25,
                         help="number of seeds to sweep (0..N-1)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep; seeds are "
+                             "independent deterministic universes, so every "
+                             "artifact is byte-identical to --jobs 1")
     parser.add_argument("--out", default="CHAOS_sweep.json",
                         help="sweep report output path")
     parser.add_argument("--failures-out", default="CHAOS_failures.json",
@@ -300,35 +425,34 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     report = sweep(range(args.seeds), standard_schedule(),
                    config=config,
                    shrink_failures=not args.no_shrink,
-                   checker=args.checker)
+                   checker=args.checker,
+                   jobs=args.jobs)
     print(report.summary())
     with open(args.out, "w") as handle:
         json.dump(report.to_dict(), handle, indent=2)
+    # Everything below consumes SeedOutcome only — the one representation
+    # both sweep modes produce — so --jobs N artifacts are byte-identical
+    # to serial ones.
     if args.diagnose:
-        for result in report.results:
-            if result.diagnosis is not None:
-                print(f"seed {result.seed}")
-                print(result.diagnosis.render())
+        for outcome in report.outcomes:
+            if outcome.diagnosis_render is not None:
+                print(f"seed {outcome.seed}")
+                print(outcome.diagnosis_render)
     if report.failures or args.diagnose:
         # Blame reports for every seed (scored against the nemesis
         # footprint) — the CI artifact a human starts from when a sweep
         # goes red.
         entries = []
-        for result in report.results:
-            if result.diagnosis is None:
+        for outcome in report.outcomes:
+            if outcome.diagnosis is None:
                 continue
-            score = score_against_ground_truth(result.diagnosis, result.env,
-                                               result.history)
-            entries.append({
-                "seed": result.seed,
-                "passed": result.passed,
-                "diagnosis": result.diagnosis.to_dict(),
-                "precision": score["precision"],
-                "recall": score["recall"],
-                "blamed": [list(map(str, s)) for s in score["blamed"]],
-                "truth": [list(map(str, s)) for s in score["truth"]],
-                "misses": [list(map(str, s)) for s in score["misses"]],
-            })
+            entry = {
+                "seed": outcome.seed,
+                "passed": outcome.passed,
+                "diagnosis": outcome.diagnosis,
+            }
+            entry.update(outcome.score)
+            entries.append(entry)
         with open(args.diagnosis_out, "w") as handle:
             json.dump({"seeds": entries}, handle, indent=2)
     if report.failures:

@@ -25,6 +25,10 @@ from typing import Any, Callable, Hashable, Optional
 
 from repro.cluster.simulator import Simulator
 
+#: Shared zero-cost transmission tuple: reused (and identity-compared) on
+#: the model-off fast path so sends allocate nothing for it.
+_NO_COST = (0.0, 0.0)
+
 #: Modelled fixed cost of any message: routing envelope, mailbox name, ids.
 WIRE_HEADER_BYTES = 24
 #: Modelled marginal cost of one key/value entry in a storage payload.
@@ -42,7 +46,7 @@ def wire_size(entry_count: int) -> int:
     return WIRE_HEADER_BYTES + WIRE_ENTRY_BYTES * entry_count
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """An addressed message travelling through the simulated network."""
 
@@ -54,9 +58,17 @@ class Message:
     message_id: int
     #: Declared wire size; what the transmission model charges the link.
     size_bytes: int = 0
+    #: Out-of-band (queue_wait, serialization) cost the network stamps on
+    #: the message it scheduled (via ``object.__setattr__`` — the message
+    #: stays frozen for senders).  Declared as a field so the class can be
+    #: slotted; excluded from equality/repr like any transport-side rider.
+    transmission: tuple = field(default=_NO_COST, compare=False, repr=False)
+    #: Out-of-band responder state for RPC requests (see
+    #: ``transport._InboundRequest``); same slotting rationale.
+    rpc_state: Any = field(default=None, compare=False, repr=False)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinkSpec:
     """Delay/bandwidth profile for one (source domain, destination domain)
     pair.  ``None`` fields fall back to the :class:`NetworkConfig`
@@ -119,7 +131,7 @@ class DelayMatrix:
         return f"DelayMatrix({len(self._links)} directed links)"
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkConfig:
     """Link behaviour knobs.
 
@@ -148,7 +160,7 @@ class NetworkConfig:
     delay_matrix: Optional[DelayMatrix] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Partition:
     """A network partition separating two groups of nodes.
 
@@ -339,7 +351,13 @@ class Network:
         self._partitions.clear()
 
     def is_reachable(self, source: Hashable, destination: Hashable) -> bool:
-        return not any(p.separates(source, destination) for p in self._partitions)
+        partitions = self._partitions
+        if not partitions:  # the overwhelmingly common case: no cut installed
+            return True
+        for partition in partitions:
+            if partition.separates(source, destination):
+                return False
+        return True
 
     # -- sending ----------------------------------------------------------------
 
@@ -377,15 +395,21 @@ class Network:
         self._next_message_id += 1
         self.messages_sent += 1
         self.bytes_sent += size_bytes
-        self.last_transmission = (0.0, 0.0)
+        self.last_transmission = _NO_COST
+        # Both gates are loop-invariant per send; computing them once here
+        # (instead of 2-4 times through the helper methods) is a measurable
+        # win with the link model on, where every message takes this path.
+        model_active = (self.config.bandwidth is not None
+                        or self.config.delay_matrix is not None)
+        observing = model_active or self.record_delivery_latency
 
         if not self.is_reachable(source, destination):
             self.messages_dropped += 1
-            if self._link_model_active():
+            if model_active:
                 stat = self._link_stat((source, destination))
                 stat["enqueued_bytes"] += size_bytes
                 stat["dropped_bytes"] += size_bytes
-            if self._observing():
+            if observing:
                 self.observatory.on_sent((source, destination),
                                          message.sent_at, size_bytes)
                 self.observatory.on_dropped((source, destination),
@@ -393,18 +417,18 @@ class Network:
             return message
         if self.config.drop_rate and self.simulator.rng.random() < self.config.drop_rate:
             self.messages_dropped += 1
-            if self._link_model_active():
+            if model_active:
                 stat = self._link_stat((source, destination))
                 stat["enqueued_bytes"] += size_bytes
                 stat["dropped_bytes"] += size_bytes
-            if self._observing():
+            if observing:
                 self.observatory.on_sent((source, destination),
                                          message.sent_at, size_bytes)
                 self.observatory.on_dropped((source, destination),
                                             message.sent_at, size_bytes)
             return message
 
-        if self._observing():
+        if observing:
             self.observatory.on_sent((source, destination),
                                      message.sent_at, size_bytes)
         timing = self._schedule_delivery(message)
@@ -412,7 +436,8 @@ class Network:
         # Message is frozen; the transmission cost rides along out-of-band
         # (like the transport's rpc_state) so callers holding the returned
         # message can ledger it without racing a later send.
-        object.__setattr__(message, "transmission", timing)
+        if timing is not _NO_COST:
+            object.__setattr__(message, "transmission", timing)
         if (
             self.config.duplicate_rate
             and self.simulator.rng.random() < self.config.duplicate_rate
@@ -475,19 +500,24 @@ class Network:
     def _sample_delay(self, source: Hashable, destination: Hashable) -> float:
         config = self.config
         base = config.base_delay
-        source_domain = self._same_domain.get(source)
-        destination_domain = self._same_domain.get(destination)
-        if (
-            config.same_domain_delay is not None
-            and source_domain is not None
-            and destination_domain is not None
-            and source_domain == destination_domain
-        ):
-            base = config.same_domain_delay
-        if config.delay_matrix is not None:
-            spec = config.delay_matrix.link(source_domain, destination_domain)
-            if spec is not None and spec.delay is not None:
-                base = spec.delay
+        if config.same_domain_delay is not None or config.delay_matrix is not None:
+            # Domain lookups only matter when locality shapes the delay;
+            # skipping them on the default config keeps the per-send cost
+            # flat.  The RNG draw below is unconditional either way, so the
+            # sampled delay stream is unchanged.
+            source_domain = self._same_domain.get(source)
+            destination_domain = self._same_domain.get(destination)
+            if (
+                config.same_domain_delay is not None
+                and source_domain is not None
+                and destination_domain is not None
+                and source_domain == destination_domain
+            ):
+                base = config.same_domain_delay
+            if config.delay_matrix is not None:
+                spec = config.delay_matrix.link(source_domain, destination_domain)
+                if spec is not None and spec.delay is not None:
+                    base = spec.delay
         jitter = config.jitter * self.simulator.rng.random() if config.jitter else 0.0
         delay = base + jitter
         if self._node_delay_factors:
@@ -503,12 +533,12 @@ class Network:
         size-blind network exactly.
         """
         if not self._link_model_active():
-            return (0.0, 0.0)
+            return _NO_COST
         link = (message.source, message.destination)
         self._link_stat(link)["enqueued_bytes"] += message.size_bytes
         bandwidth = self.effective_bandwidth(message.source, message.destination)
         if bandwidth is None:
-            return (0.0, 0.0)
+            return _NO_COST
         serialization = message.size_bytes / bandwidth
         if self._node_delay_factors:
             # A slow node's NIC serializes slowly too: the gray-failure
@@ -524,38 +554,44 @@ class Network:
         return (queue_wait, serialization)
 
     def _schedule_delivery(self, message: Message) -> tuple[float, float]:
-        queue_wait, serialization = self._transmit(message)
+        timing = self._transmit(message)
         delay = self._sample_delay(message.source, message.destination)
+        queue_wait, serialization = timing
         self.simulator.schedule(
             queue_wait + serialization + delay,
             lambda: self._deliver(message),
             label=f"deliver {message.mailbox} {message.source}->{message.destination}",
         )
-        return (queue_wait, serialization)
+        # Returned as-is so the model-off fast path keeps the shared
+        # ``_NO_COST`` identity ``send`` checks before stamping the message.
+        return timing
 
     def _deliver(self, message: Message) -> None:
         link = (message.source, message.destination)
+        model_active = (self.config.bandwidth is not None
+                        or self.config.delay_matrix is not None)
+        observing = model_active or self.record_delivery_latency
         if not self.is_reachable(message.source, message.destination):
             self.messages_dropped += 1
-            if self._link_model_active():
+            if model_active:
                 self._link_stat(link)["dropped_bytes"] += message.size_bytes
-            if self._observing():
+            if observing:
                 self.observatory.on_dropped(link, message.sent_at,
                                             message.size_bytes)
             return
         handler = self._handlers.get(message.destination)
         if handler is None:
             self.messages_dropped += 1
-            if self._link_model_active():
+            if model_active:
                 self._link_stat(link)["dropped_bytes"] += message.size_bytes
-            if self._observing():
+            if observing:
                 self.observatory.on_dropped(link, message.sent_at,
                                             message.size_bytes)
             return
         self.messages_delivered += 1
-        if self._link_model_active():
+        if model_active:
             self._link_stat(link)["delivered_bytes"] += message.size_bytes
-        if self._observing():
+        if observing:
             # Gated so a model-off soak run does not accumulate one sample
             # per delivered message it never reads.
             self.metrics.record_latency("net.delivery",

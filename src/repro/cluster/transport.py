@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Optional
 
 from repro.cluster.network import (
+    _NO_COST,
     Message,
     Network,
     WIRE_ENTRY_BYTES,
@@ -66,7 +67,7 @@ def _caller_site() -> str:
     return f"{frame.f_code.co_filename}:{frame.f_lineno}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Parcel:
     """One typed logical message: a mailbox, a payload, and its entry count.
 
@@ -88,7 +89,7 @@ class Parcel:
         return wire_size(self.entries)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """The physical wire unit: one or more parcels to one destination.
 
@@ -107,7 +108,7 @@ class Envelope:
         return len(self.parcels)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RpcPolicy:
     """Timeout/retry knobs for one request."""
 
@@ -120,7 +121,7 @@ class RpcPolicy:
         return self.timeout * (self.max_attempts - 1)
 
 
-@dataclass
+@dataclass(slots=True)
 class TransportConfig:
     """Per-network default transport behaviour (nodes inherit it)."""
 
@@ -209,7 +210,7 @@ def _fold_payload(value: Any, hasher: Any, seen: set) -> None:
         seen.discard(marker)
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingRequest:
     parcel: Parcel
     destination: Hashable
@@ -220,7 +221,7 @@ class _PendingRequest:
     on_timeout: Optional[Callable[[], None]] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _InboundRequest:
     """Per-request responder state, attached to the dispatched logical
     :class:`Message` (as ``rpc_state``) so it lives exactly as long as any
@@ -263,9 +264,12 @@ class AckedChannel:
 
     def stale_rounds(self) -> list[tuple[int, frozenset]]:
         """Rounds old enough to retransmit, in round order (deterministic)."""
+        pending = self.pending
+        if not pending:  # idle channels dominate most ticks; skip the sort
+            return []
         return [
             (round_no, keys)
-            for round_no, (sent_tick, keys) in sorted(self.pending.items())
+            for round_no, (sent_tick, keys) in sorted(pending.items())
             if self.ticks - sent_tick >= self.grace
         ]
 
@@ -414,9 +418,13 @@ class Transport:
                         "mutated after queue(); the transport owns queued "
                         "payloads — snapshot before queueing instead")
         envelope = Envelope(tuple(parcels))
-        size = envelope.wire_size()
+        # Single pass: entries are summed while each parcel is accounted,
+        # instead of re-walking the tuple through Envelope.wire_size().
+        total_entries = 0
         for parcel in parcels:
             self._account_logical(parcel.mailbox, parcel.entries)
+            total_entries += parcel.entries
+        size = WIRE_HEADER_BYTES + WIRE_ENTRY_BYTES * total_entries
         self._account_envelope(size, len(parcels))
         message = self.network.send(self.node_id, destination, TRANSPORT_MAILBOX,
                                     envelope, size_bytes=size)
@@ -435,7 +443,10 @@ class Transport:
         with the bandwidth model on, bytes take wall-clock time, and the
         batching economy shows up as amortized serialization ticks (one
         header, one queue slot) rather than just saved header bytes."""
-        queue_wait, serialization = getattr(message, "transmission", (0.0, 0.0))
+        timing = message.transmission
+        if timing is _NO_COST:  # model off: nothing stamped, nothing to ledger
+            return
+        queue_wait, serialization = timing
         if serialization:
             self.serialization_ticks += serialization
             self.metrics.increment("transport.serialization_ticks", serialization)

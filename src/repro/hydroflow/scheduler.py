@@ -76,10 +76,13 @@ class TickScheduler:
         #: where a hosting node's transport is flushed so the tick's egress
         #: output ships as batched envelopes (see ``bind_egress_to_node``).
         self.end_of_tick_hooks: list[Callable[[], None]] = []
-        self._buffers: dict[Port, list[Any]] = {}
         self._strata = self._assign_strata()
         self._max_stratum = max(self._strata.values(), default=0)
-        # Indexes for the ready-queue dispatch loop.
+        # Indexes for the ready-queue dispatch loop.  Everything the hot
+        # loops need — downstream ports, the operator behind each port, the
+        # flush membership of each stratum — is resolved once here, so a
+        # dispatch is two dict hits and a call, never a name lookup through
+        # the graph.
         self._downstream = {
             name: graph.downstream_ports(name) for name in graph.operator_names()
         }
@@ -88,11 +91,27 @@ class TickScheduler:
             for ports in self._downstream.values()
             for port in ports
         }
+        self._port_operator: dict[Port, Operator] = {
+            port: graph.operator(port.operator) for port in self._port_stratum
+        }
+        # Per-port ingress buffers, pre-created so _emit never probes.
+        self._buffers: dict[Port, list[Any]] = {
+            port: [] for port in self._port_stratum
+        }
         self._members: list[list[str]] = [
             [] for _ in range(self._max_stratum + 1)
         ]
         for name in sorted(self._strata):
             self._members[self._strata[name]].append(name)
+        self._member_operators: list[list[tuple[str, Operator]]] = [
+            [(name, graph.operator(name)) for name in names]
+            for names in self._members
+        ]
+        self._operators: list[Operator] = list(graph.operators())
+        self._feeders: list[Operator] = [
+            operator for operator in self._operators
+            if isinstance(operator, (SourceOperator, IngressOperator))
+        ]
         self._ready: list[deque[Port]] = [
             deque() for _ in range(self._max_stratum + 1)
         ]
@@ -140,8 +159,8 @@ class TickScheduler:
         total_rounds = 0
 
         # Seed buffers from sources and ingress queues.
-        for operator in self.graph.operators():
-            if isinstance(operator, (SourceOperator, IngressOperator)) and operator.has_pending:
+        for operator in self._feeders:
+            if operator.has_pending:
                 self._emit(operator.name, operator.drain())
 
         for stratum in range(self._max_stratum + 1):
@@ -154,8 +173,8 @@ class TickScheduler:
                 # quiesces; a flush may re-feed this same stratum, so keep
                 # alternating until a pass flushes and moves nothing.
                 flushed_any = False
-                for name in self._members[stratum]:
-                    flushed = self.graph.operator(name).flush()
+                for name, operator in self._member_operators[stratum]:
+                    flushed = operator.flush()
                     if flushed:
                         self._emit(name, flushed)
                         flushed_any = True
@@ -168,7 +187,7 @@ class TickScheduler:
                         f"{self.max_rounds} passes; likely a diverging blocking cycle"
                     )
 
-        for operator in self.graph.operators():
+        for operator in self._operators:
             operator.end_of_tick()
         for hook in self.end_of_tick_hooks:
             hook()
@@ -188,13 +207,11 @@ class TickScheduler:
     def _emit(self, operator_name: str, items: list[Any]) -> None:
         if not items:
             return
+        queued = self._queued
         for port in self._downstream[operator_name]:
-            buffer = self._buffers.get(port)
-            if buffer is None:
-                buffer = self._buffers[port] = []
-            buffer.extend(items)
-            if port not in self._queued:
-                self._queued.add(port)
+            self._buffers[port].extend(items)
+            if port not in queued:
+                queued.add(port)
                 self._ready[self._port_stratum[port]].append(port)
 
     def _run_stratum(self, stratum: int) -> tuple[int, int]:
@@ -211,16 +228,17 @@ class TickScheduler:
                 )
             # One round dispatches the ports ready at the round's start;
             # emissions during the round queue up for the next round.
+            buffers = self._buffers
+            port_operator = self._port_operator
             for _ in range(len(queue)):
                 port = queue.popleft()
                 self._queued.discard(port)
-                batch = self._buffers.get(port)
+                batch = buffers[port]
                 if not batch:
                     continue
-                self._buffers[port] = []
+                buffers[port] = []
                 items_moved += len(batch)
-                operator = self.graph.operator(port.operator)
-                output = operator.process(port.name, batch)
+                output = port_operator[port].process(port.name, batch)
                 self._emit(port.operator, output)
         return rounds, items_moved
 

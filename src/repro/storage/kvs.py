@@ -288,9 +288,9 @@ class ShardNode(Node):
             or sent % self.full_sync_every == 0
             or channel.saturated
         )
-        metrics = self.network.metrics
         if full:
             # The whole store supersedes the outstanding backlog.
+            metrics = self.network.metrics
             channel.clear()
             dirty.clear()
             if self.store:  # an empty full sync ships (and counts) nothing
@@ -299,6 +299,15 @@ class ShardNode(Node):
                 self._ship(peer, channel, dict(self.store), "full")
                 self.transport.flush(peer)
             return
+        if not channel.pending and not dirty:
+            # Idle delta tick: nothing unacked, nothing dirty.  The cadence
+            # already advanced (begin_tick above — full-sync rounds must keep
+            # their schedule so a state-lost replica is re-filled on time),
+            # and the flush still runs so anything *other* code queued for
+            # the peer this instant ships exactly as it always did.
+            self.transport.flush(peer)
+            return
+        metrics = self.network.metrics
         # Retransmit stale unacked rounds under their original numbers with
         # the keys' current values, so the eventual ack matches no matter
         # how slow the link is.  Younger rounds just await their acks.

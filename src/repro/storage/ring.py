@@ -58,12 +58,27 @@ def stable_key_bytes(key: Hashable) -> bytes:
     )
 
 
+#: blake2 memo, keyed by the *canonical payload bytes* (never by the key
+#: object: ``1 == True == 1.0`` under dict equality, yet each has a distinct
+#: canonical encoding — object-keyed caching would conflate them).  Cleared
+#: wholesale at the cap; the reset is deterministic, and the cached value is
+#: a pure function of the payload, so hits and misses return identical
+#: digests under every ``PYTHONHASHSEED``.
+_digest_cache: dict[bytes, int] = {}
+_DIGEST_CACHE_MAX = 8192
+
+
 def stable_digest(key: Hashable, salt: bytes = b"") -> int:
     """A 64-bit digest of ``key`` that is identical across processes."""
     payload = salt + stable_key_bytes(key)
-    return int.from_bytes(
-        hashlib.blake2b(payload, digest_size=_DIGEST_BYTES).digest(), "big"
-    )
+    digest = _digest_cache.get(payload)
+    if digest is None:
+        if len(_digest_cache) >= _DIGEST_CACHE_MAX:
+            _digest_cache.clear()
+        digest = _digest_cache[payload] = int.from_bytes(
+            hashlib.blake2b(payload, digest_size=_DIGEST_BYTES).digest(), "big"
+        )
+    return digest
 
 
 class HashRing:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cluster import Simulator
+from repro.cluster.simulator import _COMPACT_MIN_TOMBSTONES
 
 
 class TestScheduling:
@@ -94,3 +95,135 @@ class TestRunBounds:
 
         assert trace(7) == trace(7)
         assert trace(7) != trace(8)
+
+    def test_run_until_in_the_past_never_rewinds_the_clock(self):
+        # Regression: run(until=X) with X < now used to set now = X, moving
+        # simulated time backwards whenever events remained queued — the
+        # drained-queue path always left ``now`` alone.
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.schedule(50.0, lambda: None)
+        sim.run(until=20.0)
+        assert sim.now == pytest.approx(20.0)
+        sim.run(until=5.0)  # already past; must be a no-op on the clock
+        assert sim.now == pytest.approx(20.0)
+        sim.run_until_idle()
+        assert sim.now == pytest.approx(50.0)
+
+    def test_max_events_counts_across_early_returns(self):
+        sim = Simulator()
+        for index in range(10):
+            sim.schedule(float(index), lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_processed == 3
+        sim.run(max_events=3)
+        assert sim.events_processed == 6
+        sim.run_until_idle()
+        assert sim.events_processed == 10
+
+
+class TestEventOrdering:
+    def test_tie_order_never_compares_payloads(self):
+        # The heap's total order is pinned to (time, sequence).  Dataclass
+        # field comparison would fall through to the callback/label on time
+        # ties — with non-comparable callables that raises TypeError, and
+        # with comparable payloads the trace would depend on their values.
+        sim = Simulator()
+        fired = []
+
+        class Opaque:  # deliberately not orderable
+            def __init__(self, tag):
+                self.tag = tag
+
+            def __call__(self):
+                fired.append(self.tag)
+
+        for tag in ("a", "b", "c", "d"):
+            sim.schedule(1.0, Opaque(tag))
+        sim.run_until_idle()
+        assert fired == ["a", "b", "c", "d"]
+
+
+class TestCancelCompaction:
+    def test_heavy_rearm_churn_keeps_the_queue_bounded(self):
+        # Regression for the stale-event leak: a perpetually superseded
+        # far-future deadline (the ClockSkew / RPC-retry re-arm pattern)
+        # must not grow the heap by one tombstone per cancel.
+        sim = Simulator()
+        rearms = 4 * _COMPACT_MIN_TOMBSTONES
+        fired = 0
+        peak = 0
+        deadline = [None]
+
+        def on_deadline():  # pragma: no cover - must never fire
+            raise AssertionError("cancelled deadline fired")
+
+        def step():
+            nonlocal fired, peak
+            fired += 1
+            if deadline[0] is not None:
+                deadline[0].cancel()
+            if fired < rearms:
+                deadline[0] = sim.schedule(1e9, on_deadline)
+                sim.schedule(1.0, step)
+                peak = max(peak, sim.pending_events)
+            else:
+                deadline[0] = None
+
+        sim.schedule(1.0, step)
+        sim.run_until_idle(max_events=rearms + 10)
+        assert fired == rearms
+        # Tombstones may accumulate up to the compaction trigger, never to
+        # one-per-rearm.
+        assert peak <= 2 * _COMPACT_MIN_TOMBSTONES + 8
+        assert sim.cancelled_pending <= _COMPACT_MIN_TOMBSTONES
+
+    def test_events_scheduled_after_compaction_still_fire(self):
+        # Regression: an early compaction implementation rebound the queue
+        # to a new list while run() held a reference to the old one — every
+        # event scheduled after the compaction was silently stranded.
+        sim = Simulator()
+        fired = []
+        count = 3 * _COMPACT_MIN_TOMBSTONES
+
+        def chain(index):
+            victim = sim.schedule(1e9, lambda: None)
+            victim.cancel()
+            if index < count:
+                sim.schedule(1.0, lambda: chain(index + 1))
+            else:
+                fired.append(index)
+
+        sim.schedule(1.0, lambda: chain(0))
+        sim.run_until_idle(max_events=count + 10)
+        assert fired == [count]
+        assert sim.pending_events == sim.cancelled_pending
+
+    def test_compaction_does_not_change_the_trace(self):
+        # Compaction is an internal reshuffle; the observable event trace
+        # must be byte-identical to a run whose churn never crosses the
+        # compaction threshold.
+        def trace(rearms):
+            sim = Simulator(seed=11)
+            sim.tracing = True
+            deadline = [None]
+            fired = [0]
+
+            def step():
+                fired[0] += 1
+                if deadline[0] is not None:
+                    deadline[0].cancel()
+                if fired[0] < rearms:
+                    deadline[0] = sim.schedule(1e9, lambda: None, label="dead")
+                    sim.schedule(1.0, step, label=f"step-{fired[0]}")
+                else:
+                    deadline[0] = None
+
+            sim.schedule(1.0, step, label="step-0")
+            sim.run_until_idle(max_events=rearms + 10)
+            return sim.trace
+
+        below = trace(_COMPACT_MIN_TOMBSTONES // 2)
+        above = trace(4 * _COMPACT_MIN_TOMBSTONES)
+        # The longer run's trace starts with exactly the shorter run's trace.
+        assert above[:len(below) - 1] == below[:-1]
