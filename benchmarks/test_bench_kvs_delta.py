@@ -11,6 +11,10 @@ implementation and emits the numbers machine-readably to ``BENCH_kvs.json``
 * **Gossip bytes per round**: full-store snapshot gossip vs. delta gossip
   (only entries changed since the peer's last acked round), measured via the
   network simulator's honest entry-count byte accounting.
+* **Anti-entropy tier**: digest-tree reconciliation vs. the old periodic
+  full-store sync — idle repair bytes at 5k/50k-key converged stores (the
+  O(store) → O(1) cut), divergence-proportional repair bytes, and the
+  repair traffic + reconvergence time after a state-losing crash.
 """
 
 import itertools
@@ -27,7 +31,8 @@ from repro.storage.kvs import ShardNode
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_kvs.json"
 PUTS_PER_ROUND = 100
-RESULTS: dict = {"put_throughput": [], "gossip_bytes_per_round": []}
+RESULTS: dict = {"put_throughput": [], "gossip_bytes_per_round": [],
+                 "anti_entropy": []}
 
 
 def seed_immutable_put(store_map, key, value):
@@ -147,6 +152,124 @@ def test_gossip_bytes_per_round(store_size):
     assert measured["delta_idle"] == 0
 
 
+def converged_pair(store_size, seed=11):
+    """A converged, quiesced 2-replica shard with manual gossip ticks.
+
+    ``full_sync_every=1`` makes every manual tick an anti-entropy round, and
+    ``gossip_interval=None`` keeps timers out of byte measurements.
+    """
+    simulator = Simulator(seed=seed)
+    network = Network(simulator, NetworkConfig(base_delay=0.5, jitter=0.2))
+    kvs = LatticeKVS(simulator, network, shard_count=1, replication_factor=2,
+                     gossip_interval=None, gossip_mode="delta",
+                     full_sync_every=1)
+    replica_a, replica_b = kvs.shards[0]
+    for index in range(store_size):
+        replica_a.merge_local(f"k-{index}", SetUnion({index}))
+    for _ in range(4):  # ship the delta backlog, drain dirty sets and acks
+        replica_a._gossip_tick()
+        replica_b._gossip_tick()
+        simulator.run(until=simulator.now + 30.0)
+    assert len(replica_b.store) == store_size
+    return simulator, network, kvs
+
+
+def ticks_until_healed(simulator, kvs, probe_keys, limit=150):
+    """Drive anti-entropy rounds until ``probe_keys`` agree on both replicas;
+    returns the simulated time the repair took."""
+    replica_a, replica_b = kvs.shards[0]
+    start = simulator.now
+    for _ in range(limit):
+        if all(replica_b.store.get(key) == replica_a.store.get(key)
+               for key in probe_keys):
+            return simulator.now - start
+        replica_a._gossip_tick()
+        replica_b._gossip_tick()
+        simulator.run(until=simulator.now + 5.0)
+    raise AssertionError(f"anti-entropy did not heal within {limit} rounds")
+
+
+@pytest.mark.parametrize("store_size", [5000, 50_000])
+def test_anti_entropy_idle_bytes(store_size):
+    """One idle anti-entropy round on a converged store: a root probe and an
+    empty reply, vs. the old protocol's full-store round at the same spot."""
+    simulator, network, kvs = converged_pair(store_size)
+    replica_a, _ = kvs.shards[0]
+    before = network.bytes_sent
+    replica_a._gossip_tick()
+    simulator.run(until=simulator.now + 20.0)
+    idle = network.bytes_sent - before
+    baseline = wire_size(store_size)  # what the full-store sync shipped here
+    cut = baseline / max(idle, 1)
+    RESULTS["anti_entropy"].append(
+        {"kind": "idle", "store_size": store_size, "idle_bytes": idle,
+         "full_sync_baseline_bytes": baseline, "idle_cut": cut})
+    print_rows(
+        f"E13: idle anti-entropy round, {store_size}-key converged store",
+        ["store size", "digest B", "full-sync B", "cut"],
+        [[store_size, idle, baseline, f"{cut:,.0f}x"]],
+    )
+    assert 0 < idle <= 2 * wire_size(1)
+
+
+@pytest.mark.parametrize("diverged", [50, 500])
+def test_anti_entropy_repair_scales_with_divergence(diverged):
+    """Repair bytes after silent divergence (deltas suppressed, digests the
+    only healer) scale with the number of differing keys, not store size."""
+    store_size = 50_000
+    simulator, network, kvs = converged_pair(store_size)
+    replica_a, replica_b = kvs.shards[0]
+    probe_keys = [f"k-{index}" for index in range(diverged)]
+    for key in probe_keys:
+        replica_a.merge_local(key, SetUnion({f"fresh-{key}"}))
+    for dirty in replica_a._dirty.values():
+        dirty.clear()  # silence the delta machinery: only digests can heal
+    before = network.bytes_sent
+    ticks = ticks_until_healed(simulator, kvs, probe_keys)
+    repair = network.bytes_sent - before
+    RESULTS["anti_entropy"].append(
+        {"kind": "repair", "store_size": store_size, "diverged": diverged,
+         "repair_bytes": repair, "reconverge_ticks": ticks})
+    print_rows(
+        f"E13: digest repair of {diverged} diverged keys in a "
+        f"{store_size}-key store",
+        ["store size", "diverged", "repair B", "reconverge ticks"],
+        [[store_size, diverged, repair, ticks]],
+    )
+    # O(divergence): nowhere near a full-store round.
+    assert repair < wire_size(store_size) / 4
+    assert repair >= wire_size(diverged)  # the differing keys did ship
+
+
+def test_anti_entropy_lose_state_repair():
+    """A state-losing crash is the worst-case divergence (the whole store);
+    repair traffic is proportional to what was lost and converges within a
+    handful of rounds — with zero full-store escalations."""
+    store_size = 5000
+    simulator, network, kvs = converged_pair(store_size)
+    replica_a, replica_b = kvs.shards[0]
+    replica_b.crash()
+    replica_b.recover(lose_state=True)
+    assert replica_b.store == {}
+    probe_keys = [f"k-{index}" for index in range(0, store_size, 97)]
+    before = network.bytes_sent
+    ticks = ticks_until_healed(simulator, kvs, probe_keys)
+    repair = network.bytes_sent - before
+    assert len(replica_b.store) == store_size
+    RESULTS["anti_entropy"].append(
+        {"kind": "lose_state", "store_size": store_size,
+         "repair_bytes": repair, "reconverge_ticks": ticks})
+    print_rows(
+        f"E13: digest repair after lose-state crash, {store_size}-key store",
+        ["store size", "repair B", "reconverge ticks"],
+        [[store_size, repair, ticks]],
+    )
+    assert network.metrics.counter("kvs.gossip.full_rounds") == 0
+    # Divergence-proportional: the lost entries (pushed and/or pulled by the
+    # two concurrent sessions) plus digest recursion overhead.
+    assert repair < 4 * wire_size(store_size)
+
+
 def test_zz_acceptance_and_emit_json():
     """Checks the PR's acceptance numbers and writes ``BENCH_kvs.json``.
 
@@ -168,6 +291,7 @@ def test_zz_acceptance_and_emit_json():
         "put_throughput": RESULTS["put_throughput"],
         "put_speedup_in_place_over_seed": speedups,
         "gossip_bytes_per_round": RESULTS["gossip_bytes_per_round"],
+        "anti_entropy": RESULTS["anti_entropy"],
     }
     BENCH_PATH.write_text(json.dumps(summary, indent=2) + "\n")
 
@@ -183,3 +307,18 @@ def test_zz_acceptance_and_emit_json():
         ratios = [gossip[size]["snapshot_over_delta"] for size in sorted(gossip)]
         assert ratios == sorted(ratios)
         assert ratios[-1] / ratios[0] > 2.0
+
+    # Anti-entropy acceptance: >= 20x idle-byte cut over the full-store
+    # baseline at the 50k-key store, and repair bytes that scale with
+    # divergence (500 diverged keys cost well under 15x the 50-key repair,
+    # both far below a full-store round).
+    idle = {row["store_size"]: row for row in RESULTS["anti_entropy"]
+            if row["kind"] == "idle"}
+    repair = {row["diverged"]: row for row in RESULTS["anti_entropy"]
+              if row["kind"] == "repair"}
+    if 50_000 in idle:
+        assert idle[50_000]["idle_cut"] >= 20.0
+    if {50, 500} <= set(repair):
+        assert (repair[500]["repair_bytes"]
+                < 15 * repair[50]["repair_bytes"])
+        assert repair[500]["repair_bytes"] < wire_size(50_000) / 4

@@ -39,6 +39,7 @@ from repro.chaos.nemesis import ChaosEnv
 from repro.consistency.calm import CoordinationMechanism, decide_coordination
 from repro.lattices import VectorClock
 from repro.lattices.base import Lattice
+from repro.storage.antientropy import PROBE_ROUNDS, DigestTree
 
 
 @dataclass
@@ -343,6 +344,19 @@ def check_gossip_byte_budget(env: ChaosEnv) -> CheckResult:
       what actually changed; folding unacked backlog or untouched store keys
       into fresh rounds (the cumulative-payload regression) breaks this
       immediately, however brief the storm;
+    * **repair entries ≤ divergence** — digest-tree anti-entropy may only
+      ship keys that actually diverged: every repaired entry is licensed
+      either by a dirty mark (a delta the machinery was still owed) or by a
+      state-losing recovery (each lost entry licenses a push and a pull per
+      replica pair).  A repair path that ships converged ranges — the old
+      periodic full-store sync in disguise — breaks this at any store size;
+    * **full-round provenance** — in delta mode a full-store round may only
+      come from the ``AckedChannel`` saturation escalation (a peer that
+      stopped acking); the counter pair pins that no other code path
+      regressed into shipping whole stores;
+    * **digest-tree purity** — every live replica's incrementally-maintained
+      tree must equal a from-scratch rebuild over its store: trees are pure
+      functions of content, never of operation order or hash seed;
     * **post-heal quiescence** — after the final heal + settle, no live
       replica holds a *stale* unacked round (outstanding past the channel's
       own retransmission grace, with nothing left to lose it) and no
@@ -362,6 +376,32 @@ def check_gossip_byte_budget(env: ChaosEnv) -> CheckResult:
             f"O(Δ) violated: {fresh:.0f} fresh delta entries shipped for only "
             f"{marks:.0f} dirty marks — delta rounds are shipping more than "
             f"their Δ")
+    repair = metrics.counter("kvs.antientropy.repair_entries")
+    lost = metrics.counter("kvs.antientropy.lost_entries")
+    # Push + pull per replica pair: a lost entry may be shipped once in
+    # each direction by concurrent sessions on both sides.
+    repair_budget = marks + 2 * kvs.replication_factor * lost
+    if repair > repair_budget:
+        result.failures.append(
+            f"O(divergence) violated: {repair:.0f} anti-entropy repair "
+            f"entries shipped against a divergence budget of "
+            f"{repair_budget:.0f} ({marks:.0f} dirty marks, {lost:.0f} "
+            f"state-loss entries) — repair is shipping converged ranges")
+    fulls = metrics.counter("kvs.gossip.full_rounds")
+    saturation = metrics.counter("kvs.gossip.saturation_fulls")
+    if fulls > saturation:
+        result.failures.append(
+            f"full-store provenance violated: {fulls:.0f} full rounds "
+            f"shipped but only {saturation:.0f} saturation escalations — "
+            f"something other than a saturated channel shipped a whole "
+            f"store")
+    for replica in kvs.all_nodes():
+        if not replica.alive:
+            continue
+        if replica._tree != DigestTree.from_store(replica.store):
+            result.failures.append(
+                f"{replica.node_id}: digest tree diverged from its store — "
+                f"the incremental maintenance missed an update")
     if env.pristine_config.drop_rate:
         # With baseline loss the final acks may legitimately be in flight
         # or lost at measure time; only the O(Δ) ledger applies.
@@ -405,19 +445,26 @@ def staleness_bound(env: ChaosEnv, full_sync_every: int,
     """Ticks within which every replica must observe an acked write.
 
     Delta gossip usually converges within a round or two, but its hard
-    backstop is the periodic full-store anti-entropy sync: at worst a write
-    lands right after a full sync and waits ``full_sync_every`` gossip
-    rounds for the next one.  The bound is that horizon — stretched by the
-    worst timer drift a clock-skew fault induced, since a skewed replica
-    fires its gossip cadence late — plus the transport's RPC retry
-    allowance (a write's delivery to the acking replica may itself have
-    been retried) and a delivery leg priced by the worst link delay *and*
-    the queueing model's observed worst transmission (a full-store sync
-    crawling through a congested link still has to arrive).
+    backstop is the periodic digest-tree anti-entropy round: at worst a
+    write lands right after one round starts and waits ``full_sync_every``
+    gossip rounds for the next — stretched by the worst timer drift a
+    clock-skew fault induced, since a skewed replica fires its gossip
+    cadence late.  Unlike the old full-store sync, which arrived in a
+    single (congested) envelope, a digest reconciliation is a *recursion*:
+    up to ``PROBE_ROUNDS`` request/reply round trips down the tree (root
+    probe through leaf pull) before the repair entries make their own
+    one-way trip.  Each leg is priced by the worst link delay plus the
+    queueing model's observed worst transmission; the whole exchange adds
+    ``(2 * PROBE_ROUNDS + 1)`` legs on top of the cadence horizon.  The
+    RPC retry allowance covers a retried leg (the write's delivery to the
+    acking replica, or any probe of the exchange), and one final
+    round-trip delivery leg covers the repair round's ack.
     """
     sync_horizon = full_sync_every * gossip_interval * env.max_timer_drift
-    delivery = 2 * (env.max_link_delay + env.network.max_transmission_delay)
-    return sync_horizon + env.rpc_retry_allowance() + delivery + slack
+    leg = env.max_link_delay + env.network.max_transmission_delay
+    recursion = (2 * PROBE_ROUNDS + 1) * leg
+    delivery = 2 * leg
+    return sync_horizon + env.rpc_retry_allowance() + recursion + delivery + slack
 
 
 def check_bounded_staleness(history: History, env: ChaosEnv, *,

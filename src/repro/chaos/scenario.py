@@ -81,10 +81,11 @@ class ChaosConfig:
     paxos_replicas: int = 3
     paxos_proposals: int = 6
     #: Post-heal quiescence horizon.  Must cover ``full_sync_every`` gossip
-    #: rounds plus delivery (the bounded-staleness checker's judgement
-    #: horizon), or a state-losing recovery cannot be healed by
-    #: anti-entropy before the convergence checker looks.
-    settle_after_heal: float = 450.0
+    #: rounds plus a full digest-tree reconciliation — probe recursion down
+    #: to the leaves and the repair round's delivery (the bounded-staleness
+    #: checker's judgement horizon) — or a state-losing recovery cannot be
+    #: healed by anti-entropy before the convergence checker looks.
+    settle_after_heal: float = 600.0
     #: Runtime sanitizer: digest every payload at ``queue()`` time and
     #: verify it at flush — mutation-after-queue raises
     #: :class:`~repro.cluster.transport.PayloadMutationError` naming the
@@ -239,4 +240,4 @@ def thorough_config() -> ChaosConfig:
     """A heavier profile for local soak runs."""
     return replace(ChaosConfig(), shards=3, replication=3, kvs_ops=60,
                    cart_ops=20, causal_broadcasts=10, paxos_proposals=12,
-                   settle_after_heal=600.0)
+                   settle_after_heal=800.0)

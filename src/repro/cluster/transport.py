@@ -51,6 +51,25 @@ from repro.cluster.network import (
 #: mailboxes live inside the envelope's parcels.
 TRANSPORT_MAILBOX = "__transport__"
 
+#: Modelled wire cost of one digest item in an anti-entropy control message
+#: (an 8-byte bucket/key identifier plus an 8-byte blake2 digest).  Digest
+#: payloads are far denser than key/value entries, but they are not free:
+#: senders declare ``digest_entries(n)`` so the byte ledger — and, with the
+#: bandwidth model on, the *time* ledger — stays honest.
+DIGEST_WIRE_BYTES = 16
+
+
+def digest_entries(count: int) -> int:
+    """Honest entry count for a payload carrying ``count`` digest items.
+
+    Rounds ``count * DIGEST_WIRE_BYTES`` up to whole ``WIRE_ENTRY_BYTES``
+    units (minimum one for a non-empty payload), so a root-digest probe
+    costs one entry while a 65536-leaf summary pays its real weight.
+    """
+    if count <= 0:
+        return 0
+    return max(1, -(-count * DIGEST_WIRE_BYTES // WIRE_ENTRY_BYTES))
+
 
 def _caller_site() -> str:
     """``file:line`` of the frame the size_bytes deprecation attributes to.

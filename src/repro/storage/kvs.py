@@ -17,8 +17,16 @@ Writes are O(delta), not O(store): each replica holds a plain mutable dict
 and merges arriving values entry-wise (in place once it owns the entry — see
 the README's mutation-protocol section for the ownership rules), and gossip
 ships *deltas* — only the entries that changed since the peer's last
-acknowledged round — with a periodic full-store exchange as anti-entropy
-fallback, so dropped gossip or a state-losing recovery still converges.
+acknowledged round.  Background repair is O(divergence), not O(store): every
+``full_sync_every``-th gossip round runs a digest-tree (Merkle)
+reconciliation (:mod:`repro.storage.antientropy`) that exchanges the root
+digest — O(1) when replicas are already identical — recurses only into
+mismatching key ranges via the RPC runtime, and ships only the keys that
+actually differ, so dropped gossip or a state-losing recovery still
+converges without anyone ever shipping a whole store.  Full-store shipping
+survives in exactly two places: snapshot mode, and the
+:class:`~repro.cluster.transport.AckedChannel` saturation escalation (a
+peer that stopped acking entirely).
 
 All traffic flows through the node's :class:`~repro.cluster.transport.Transport`:
 puts and gets are transport RPCs (timeouts, capped retries, duplicate
@@ -38,8 +46,13 @@ from repro.cluster.metrics import MetricsRegistry
 from repro.cluster.network import Message, Network
 from repro.cluster.node import Node
 from repro.cluster.simulator import Simulator
-from repro.cluster.transport import AckedChannel
+from repro.cluster.transport import AckedChannel, digest_entries
 from repro.lattices.base import BOTTOM, Lattice, owns_merge_result
+from repro.storage.antientropy import (
+    LEAF_LEVEL,
+    AntiEntropySession,
+    DigestTree,
+)
 from repro.storage.ring import HashRing, stable_key_bytes
 
 #: Gossip rounds a delta stays outstanding before being retransmitted,
@@ -102,6 +115,11 @@ class ShardNode(Node):
         self._dirty: dict[Hashable, set[Hashable]] = {}
         self._channels: dict[Hashable, AckedChannel] = {}
         self._gossip_round = 0
+        # Anti-entropy state: the incremental digest tree over the store
+        # (maintained in every gossip mode so mode flips never start from a
+        # stale tree) and at most one in-flight reconciliation per peer.
+        self._tree = DigestTree()
+        self._ae_sessions: dict[Hashable, AntiEntropySession] = {}
         self.peers: list[Hashable] = []
         self.set_peers(list(peers or []))
         self.on("put", self._on_put)
@@ -109,6 +127,8 @@ class ShardNode(Node):
         self.on("replicate", self._on_replicate)
         self.on("gossip", self._on_gossip)
         self.on("gossip_ack", self._on_gossip_ack)
+        self.on("ae_probe", self._on_ae_probe)
+        self.on("ae_pull", self._on_ae_pull)
         if gossip_interval:
             self.set_timer(gossip_interval, self._gossip_tick, label=f"kvs-gossip@{node_id}")
 
@@ -128,6 +148,7 @@ class ShardNode(Node):
         for peer in [p for p in self._dirty if p not in current]:
             del self._dirty[peer]
             self._channels.pop(peer, None)
+            self._ae_sessions.pop(peer, None)
 
     @property
     def _unacked(self) -> dict[Hashable, dict[int, tuple[int, frozenset]]]:
@@ -173,6 +194,7 @@ class ShardNode(Node):
                 self._owned.add(key)
             else:
                 self._owned.discard(key)
+        self._tree.update(key, store[key])
         if self._dirty:
             marks = 0
             for peer, dirty in self._dirty.items():
@@ -199,6 +221,7 @@ class ShardNode(Node):
         for key in keys:
             self.store.pop(key, None)
             self._owned.discard(key)
+            self._tree.remove(key)
         for dirty in self._dirty.values():
             dirty.difference_update(keys)
         # Unacked rounds may still name dropped keys; they are filtered
@@ -264,9 +287,14 @@ class ShardNode(Node):
     # and is answered by a "gossip_ack" message {"round": int}.  Fresh
     # dirty keys ship as a new delta round; an unacked round past the
     # grace period is retransmitted under its original round number with
-    # the keys' current values; every ``full_sync_every``-th round to a
-    # peer — and snapshot mode always — ships the whole store as
-    # anti-entropy, superseding the outstanding backlog.
+    # the keys' current values.  Every ``full_sync_every``-th round to a
+    # peer starts a digest-tree anti-entropy exchange (the "ae_probe" /
+    # "ae_pull" RPCs below) that repairs divergence the delta machinery
+    # missed — dropped replication, a state-losing recovery — by shipping
+    # only the keys that actually differ.  A full-store round survives in
+    # exactly two cases: snapshot mode (every round) and a saturated
+    # channel (a peer that stopped acking), where it supersedes and
+    # clears the outstanding backlog.
 
     def _gossip_tick(self) -> None:
         if not self.alive:
@@ -283,14 +311,15 @@ class ShardNode(Node):
             peer, AckedChannel(grace=RETRANSMIT_AFTER_ROUNDS,
                                cap=MAX_OUTSTANDING_ROUNDS))
         sent = channel.begin_tick()
-        full = (
-            self.gossip_mode == "snapshot"
-            or sent % self.full_sync_every == 0
-            or channel.saturated
-        )
-        if full:
-            # The whole store supersedes the outstanding backlog.
+        if self.gossip_mode == "snapshot" or channel.saturated:
+            # The whole store supersedes the outstanding backlog.  This is
+            # the only remaining full-store path: snapshot mode by design,
+            # and the saturation escalation for a peer that stopped acking
+            # (digest recursion needs replies, so a silent peer gets the
+            # blunt instrument).
             metrics = self.network.metrics
+            if channel.saturated and self.gossip_mode != "snapshot":
+                metrics.increment("kvs.gossip.saturation_fulls")
             channel.clear()
             dirty.clear()
             if self.store:  # an empty full sync ships (and counts) nothing
@@ -299,6 +328,11 @@ class ShardNode(Node):
                 self._ship(peer, channel, dict(self.store), "full")
                 self.transport.flush(peer)
             return
+        if sent % self.full_sync_every == 0:
+            # The old full-store cadence, now a digest exchange: O(1) probe
+            # when converged, O(divergence) repair when not.  Additive — the
+            # delta/retransmission machinery below still runs this tick.
+            self._start_anti_entropy(peer)
         if not channel.pending and not dirty:
             # Idle delta tick: nothing unacked, nothing dirty.  The cadence
             # already advanced (begin_tick above — full-sync rounds must keep
@@ -377,6 +411,182 @@ class ShardNode(Node):
         # An ack for a superseded round is ignored: its keys were folded
         # into a later outstanding round, which still awaits its own ack.
 
+    # -- anti-entropy ------------------------------------------------------------------
+    #
+    # Digest-tree reconciliation (see :mod:`repro.storage.antientropy`):
+    #
+    #   request "ae_probe"  {"level": L, "buckets": {bucket: digest}}
+    #   reply               {"level": L, "diff": [bucket, ...]}           converged
+    #                       {"level": L, "diff": [...],
+    #                        "children": {bucket: {child: digest}}}       interior
+    #                       {"level": LEAF, "diff": [...],
+    #                        "leaves": {bucket: {key: entry_digest}}}     leaf
+    #   request "ae_pull"   {"keys": [key, ...]}
+    #   reply               {"entries": {key: lattice}}
+    #
+    # The initiator probes level by level, recursing only into buckets whose
+    # digests differ; at the leaves it ships keys the peer is missing or
+    # holds differently as a normal delta round (acked, retransmitted like
+    # any other), and pulls keys it lacks with "ae_pull".  Digest payloads
+    # are priced honestly via ``digest_entries`` (16 bytes per digest on the
+    # wire).  All payload maps are built in sorted order — bucket order for
+    # digests, repr order for keys — so the event trace is identical under
+    # every PYTHONHASHSEED.
+
+    def _start_anti_entropy(self, peer: Hashable) -> None:
+        """Begin a digest reconciliation with ``peer`` (at most one in flight)."""
+        if peer in self._ae_sessions:
+            # The previous exchange is still recursing (slow link); let it
+            # finish rather than racing two sessions against one peer.
+            self.network.metrics.increment("kvs.antientropy.skipped")
+            return
+        session = AntiEntropySession(peer=peer, started_at=self.simulator.now)
+        self._ae_sessions[peer] = session
+        self.network.metrics.increment("kvs.antientropy.rounds")
+        self._ae_send_probe(session, 0, {0: self._tree.root()})
+
+    def _ae_send_probe(self, session: AntiEntropySession, level: int,
+                       buckets: dict[int, int]) -> None:
+        session.level = level
+        self.request(
+            session.peer, "ae_probe", {"level": level, "buckets": buckets},
+            entries=digest_entries(len(buckets)),
+            on_reply=lambda payload: self._on_ae_probe_reply(session, payload),
+            on_timeout=lambda: self._ae_abort(session),
+        )
+
+    def _on_ae_probe_reply(self, session: AntiEntropySession, payload: Any) -> None:
+        if self._ae_sessions.get(session.peer) is not session:
+            return  # superseded by recovery/reshard; a late reply is void
+        session.probes += 1
+        diff = payload["diff"]
+        level = payload["level"]
+        if not diff:
+            if level == 0:
+                # Root digests matched: the replicas are provably identical
+                # and this round cost one digest each way.
+                self.network.metrics.increment("kvs.antientropy.converged_rounds")
+            self._ae_finish(session)
+            return
+        if level < LEAF_LEVEL:
+            next_buckets: dict[int, int] = {}
+            for bucket in diff:
+                mine = self._tree.child_digests(level, bucket)
+                theirs = payload["children"].get(bucket, {})
+                # Pre-filter here: only children whose digests already
+                # disagree get probed, so a bucket diverging in one child
+                # recurses into exactly that child.
+                for child in sorted(set(mine) | set(theirs)):
+                    if mine.get(child, 0) != theirs.get(child, 0):
+                        next_buckets[child] = mine.get(child, 0)
+            if next_buckets:
+                self._ae_send_probe(session, level + 1, next_buckets)
+            else:
+                # The parents' mismatch resolved itself between probes
+                # (concurrent gossip healed it); nothing left to chase.
+                self._ae_finish(session)
+            return
+        self._ae_reconcile_leaves(session, diff, payload["leaves"])
+
+    def _ae_reconcile_leaves(self, session: AntiEntropySession,
+                             diff: list[int], leaves: dict) -> None:
+        peer = session.peer
+        to_send: dict[Hashable, Lattice] = {}
+        to_pull: list[Hashable] = []
+        for bucket in diff:
+            mine = self._tree.leaf_summary(bucket)
+            theirs = leaves.get(bucket, {})
+            for key, digest in mine.items():
+                # Keys the peer is missing or holds with different content.
+                # A differing digest also lands in ``to_pull`` below: both
+                # sides may hold lattice state the other lacks.
+                if theirs.get(key) != digest and key in self.store:
+                    to_send[key] = self.store[key]
+            for key, digest in theirs.items():
+                if mine.get(key) != digest:
+                    to_pull.append(key)
+        if to_send:
+            channel = self._channels.setdefault(
+                peer, AckedChannel(grace=RETRANSMIT_AFTER_ROUNDS,
+                                   cap=MAX_OUTSTANDING_ROUNDS))
+            self.network.metrics.increment("kvs.antientropy.repair_entries",
+                                           len(to_send))
+            # Repairs ride the normal delta machinery: tracked in the acked
+            # channel, retransmitted if the ack is lost.
+            self._ship(peer, channel, to_send, "delta")
+            self._dirty.get(peer, set()).difference_update(to_send)
+            self.transport.flush(peer)
+        if to_pull:
+            self.request(
+                peer, "ae_pull", {"keys": to_pull},
+                entries=digest_entries(len(to_pull)),
+                on_reply=lambda payload: self._on_ae_pull_reply(session, payload),
+                on_timeout=lambda: self._ae_abort(session),
+            )
+        else:
+            self._ae_finish(session)
+
+    def _on_ae_pull_reply(self, session: AntiEntropySession, payload: Any) -> None:
+        if self._ae_sessions.get(session.peer) is not session:
+            return
+        entries = payload["entries"]
+        self.network.metrics.increment("kvs.antientropy.repair_entries",
+                                       len(entries))
+        for key, value in entries.items():
+            owners = self._misrouted(key)
+            if owners is not None:
+                # Same reshard guard as gossip: a pulled key this replica
+                # handed off mid-exchange is forwarded, not resurrected.
+                for owner in owners:
+                    self.queue(owner, "replicate", {"key": key, "value": value},
+                               entries=1)
+            else:
+                self._merge_entry(key, value, exclude=session.peer)
+        self._ae_finish(session)
+
+    def _ae_finish(self, session: AntiEntropySession) -> None:
+        if self._ae_sessions.get(session.peer) is session:
+            del self._ae_sessions[session.peer]
+
+    def _ae_abort(self, session: AntiEntropySession) -> None:
+        if self._ae_sessions.get(session.peer) is session:
+            del self._ae_sessions[session.peer]
+            self.network.metrics.increment("kvs.antientropy.aborted")
+        # The next cadence tick starts over from the root — an aborted
+        # exchange never wedges anti-entropy.
+
+    def _on_ae_probe(self, message: Message) -> None:
+        payload = message.payload
+        level = payload["level"]
+        tree = self._tree
+        diff = [bucket for bucket, digest in payload["buckets"].items()
+                if tree.digest(level, bucket) != digest]
+        if not diff:
+            self.reply(message, "ae_probe_reply", {"level": level, "diff": []})
+            return
+        if level < LEAF_LEVEL:
+            children = {bucket: tree.child_digests(level, bucket)
+                        for bucket in diff}
+            count = len(diff) + sum(len(c) for c in children.values())
+            self.reply(message, "ae_probe_reply",
+                       {"level": level, "diff": diff, "children": children},
+                       entries=digest_entries(count))
+        else:
+            leaves = {bucket: tree.leaf_summary(bucket) for bucket in diff}
+            count = len(diff) + sum(len(s) for s in leaves.values())
+            self.reply(message, "ae_probe_reply",
+                       {"level": level, "diff": diff, "leaves": leaves},
+                       entries=digest_entries(count))
+
+    def _on_ae_pull(self, message: Message) -> None:
+        entries: dict[Hashable, Lattice] = {}
+        for key in message.payload["keys"]:
+            value = self.value_of(key)  # relinquishes ownership: it escapes
+            if value is not None:
+                entries[key] = value
+        self.reply(message, "ae_pull_reply", {"entries": entries},
+                   entries=len(entries))
+
     def recover(self, lose_state: bool = False) -> None:
         """Recover and re-arm the gossip timer that :meth:`Node.crash` cancelled.
 
@@ -386,19 +596,31 @@ class ShardNode(Node):
         """
         was_down = not self.alive
         super().recover(lose_state)
+        if was_down:
+            # In-flight reconciliations died with the crash (their RPC
+            # timers were cancelled); drop the sessions so the next cadence
+            # tick can start fresh instead of waiting on a ghost.
+            self._ae_sessions.clear()
         if was_down and self.gossip_interval:
             self.set_timer(self.gossip_interval, self._gossip_tick,
                            label=f"kvs-gossip@{self.node_id}")
 
     def reset_state(self) -> None:
+        if self.store:
+            # Divergence ledger for the byte-budget checker: losing n
+            # entries licenses O(n) repair traffic to re-converge.
+            self.network.metrics.increment("kvs.antientropy.lost_entries",
+                                           len(self.store))
         self.store = {}
         self._owned.clear()
+        self._tree.clear()
+        self._ae_sessions.clear()
         for peer in self._dirty:
             self._dirty[peer] = set()
             self._channels[peer].clear()
-        # Channel tick counts are preserved: the periodic full-sync schedule
-        # keeps running, which is exactly what re-fills a state-losing
-        # recovery.
+        # Channel tick counts are preserved: the periodic anti-entropy
+        # schedule keeps running, and digest recursion against a now-empty
+        # tree is exactly what re-fills a state-losing recovery.
 
 
 @dataclass(frozen=True)

@@ -19,9 +19,10 @@ from __future__ import annotations
 
 import bisect
 import hashlib
+from collections import OrderedDict
 from typing import Hashable, Iterable, Sequence
 
-__all__ = ["HashRing", "stable_digest", "stable_key_bytes"]
+__all__ = ["HashRing", "digest_cache_stats", "stable_digest", "stable_key_bytes"]
 
 _DIGEST_BYTES = 8  # 64-bit tokens: collision-free in practice, cheap to compare
 
@@ -60,12 +61,23 @@ def stable_key_bytes(key: Hashable) -> bytes:
 
 #: blake2 memo, keyed by the *canonical payload bytes* (never by the key
 #: object: ``1 == True == 1.0`` under dict equality, yet each has a distinct
-#: canonical encoding — object-keyed caching would conflate them).  Cleared
-#: wholesale at the cap; the reset is deterministic, and the cached value is
-#: a pure function of the payload, so hits and misses return identical
-#: digests under every ``PYTHONHASHSEED``.
-_digest_cache: dict[bytes, int] = {}
-_DIGEST_CACHE_MAX = 8192
+#: canonical encoding — object-keyed caching would conflate them).  Evicted
+#: LRU-style one entry at a time — a wholesale clear at the cap thrashed at
+#: 50k-key stores, where every digest-tree rebuild or routing sweep re-hashed
+#: the world — and the cached value is a pure function of the payload, so
+#: hits, misses and evictions return identical digests under every
+#: ``PYTHONHASHSEED``.  Recency order depends only on the call sequence,
+#: which the simulator already keeps deterministic.
+_digest_cache: OrderedDict[bytes, int] = OrderedDict()
+_DIGEST_CACHE_MAX = 65536
+#: Hit/miss ledger since process start (regression tests pin the hit rate
+#: on churn loops larger than the old wholesale-clearing cache's cap).
+_digest_cache_stats = {"hits": 0, "misses": 0}
+
+
+def digest_cache_stats() -> dict[str, int]:
+    """A snapshot of the memo's hit/miss counters (testing/diagnostics)."""
+    return dict(_digest_cache_stats)
 
 
 def stable_digest(key: Hashable, salt: bytes = b"") -> int:
@@ -73,11 +85,15 @@ def stable_digest(key: Hashable, salt: bytes = b"") -> int:
     payload = salt + stable_key_bytes(key)
     digest = _digest_cache.get(payload)
     if digest is None:
-        if len(_digest_cache) >= _DIGEST_CACHE_MAX:
-            _digest_cache.clear()
+        _digest_cache_stats["misses"] += 1
+        while len(_digest_cache) >= _DIGEST_CACHE_MAX:
+            _digest_cache.popitem(last=False)
         digest = _digest_cache[payload] = int.from_bytes(
             hashlib.blake2b(payload, digest_size=_DIGEST_BYTES).digest(), "big"
         )
+    else:
+        _digest_cache_stats["hits"] += 1
+        _digest_cache.move_to_end(payload)
     return digest
 
 

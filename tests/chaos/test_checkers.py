@@ -20,6 +20,7 @@ from repro.chaos import (
 )
 from repro.consistency.causal import CausalMessage
 from repro.lattices import SetUnion, TwoPhaseSet, VectorClock
+from repro.storage.antientropy import PROBE_ROUNDS
 
 
 def env_with(seed=1, **overrides):
@@ -351,8 +352,13 @@ class TestBoundedStalenessChecker:
         drifted = staleness_bound(env, **self.GOSSIP)
         assert drifted > tight
         env.network.max_transmission_delay = 25.0
+        # Every leg of the exchange pays the transmission term: the digest
+        # recursion's PROBE_ROUNDS (= 6) round trips plus the repair
+        # one-way (13 legs), plus the final round-trip delivery leg — 15
+        # legs in all (see staleness_bound's derivation).
+        legs = 2 * PROBE_ROUNDS + 1 + 2
         assert staleness_bound(env, **self.GOSSIP) == pytest.approx(
-            drifted + 50.0)
+            drifted + legs * 25.0)
 
     def test_gossipless_cluster_is_not_judged(self):
         env = env_with(gossip_interval=5.0, full_sync_every=2)

@@ -1,0 +1,265 @@
+"""Digest-tree anti-entropy: O(divergence) repair and its lifecycle edges.
+
+The tree itself must be a pure function of store content (never of update
+order or hash seed), and the reconciliation protocol built on it must keep
+the old full-store sync's healing guarantees — state-losing recoveries
+re-converge, reshards never corrupt the tree — at a fraction of the bytes:
+an idle anti-entropy round costs O(1) regardless of store size, and a
+repair round ships O(differing keys).
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import Network, NetworkConfig, Simulator, wire_size
+from repro.lattices import GCounter, SetUnion
+from repro.storage import LatticeKVS
+from repro.storage.antientropy import LEAF_LEVEL, DigestTree
+from repro.storage.ring import stable_digest
+
+
+def build_kvs(shards=1, replication=2, seed=7, full_sync_every=5,
+              gossip_interval=20.0):
+    sim = Simulator(seed=seed)
+    net = Network(sim, NetworkConfig(base_delay=1.0, jitter=0.5))
+    kvs = LatticeKVS(sim, net, shard_count=shards,
+                     replication_factor=replication,
+                     gossip_interval=gossip_interval, gossip_mode="delta",
+                     full_sync_every=full_sync_every)
+    return sim, net, kvs
+
+
+def assert_replicas_converged(kvs):
+    for shard in kvs.shards:
+        for key in {k for replica in shard for k in replica.store}:
+            values = [replica.store.get(key) for replica in shard]
+            assert all(value == values[0] for value in values), (
+                f"replicas diverge on {key!r}: {values}")
+
+
+class TestDigestTree:
+    def test_content_pure_across_update_orders(self):
+        """Trees over the same entries are identical whatever the order —
+        including orders that pass through intermediate values."""
+        entries = {f"k-{i}": SetUnion({i, i + 1}) for i in range(200)}
+        forward = DigestTree()
+        for key in sorted(entries):
+            forward.update(key, entries[key])
+        shuffled = DigestTree()
+        keys = list(entries)
+        random.Random(42).shuffle(keys)
+        for key in keys:
+            # Grow through an intermediate value first: only the final
+            # content may matter.
+            shuffled.update(key, SetUnion({0}))
+            shuffled.update(key, entries[key])
+        assert forward == shuffled
+        assert forward == DigestTree.from_store(entries)
+        assert forward.root() == shuffled.root()
+
+    def test_update_remove_roundtrip_restores_empty(self):
+        tree = DigestTree()
+        for i in range(50):
+            tree.update(f"k-{i}", SetUnion({i}))
+        for i in range(50):
+            tree.remove(f"k-{i}")
+        assert tree == DigestTree()
+        assert tree.root() == 0
+        assert len(tree) == 0
+
+    def test_value_growth_changes_every_ancestor(self):
+        tree = DigestTree()
+        tree.update("k", SetUnion({1}))
+        digest = stable_digest("k")
+        before = [tree.digest(level, DigestTree.bucket_of(digest, level))
+                  for level in range(LEAF_LEVEL + 1)]
+        tree.update("k", SetUnion({1, 2}))
+        after = [tree.digest(level, DigestTree.bucket_of(digest, level))
+                 for level in range(LEAF_LEVEL + 1)]
+        assert all(b != a for b, a in zip(before, after))
+        # A no-op update (same content) changes nothing.
+        tree.update("k", SetUnion({1, 2}))
+        assert [tree.digest(level, DigestTree.bucket_of(digest, level))
+                for level in range(LEAF_LEVEL + 1)] == after
+
+    def test_parent_digest_is_xor_of_children(self):
+        """The recursion's soundness: a parent mismatch implies some child
+        mismatch, which holds exactly when parents are the XOR of their
+        children at every interior level."""
+        store = {f"k-{i}": GCounter().increment(f"w{i % 3}", i + 1)
+                 for i in range(300)}
+        tree = DigestTree.from_store(store)
+        for level in range(LEAF_LEVEL):
+            for bucket, digest in tree._levels[level].items():
+                children = tree.child_digests(level, bucket)
+                folded = 0
+                for child_digest in children.values():
+                    folded ^= child_digest
+                assert folded == digest, (level, bucket)
+
+    def test_leaf_summary_sorted_and_exact(self):
+        tree = DigestTree()
+        keys = [f"k-{i}" for i in range(100)]
+        for key in keys:
+            tree.update(key, SetUnion({key}))
+        seen = []
+        for bucket in list(tree._leaf_members):
+            summary = tree.leaf_summary(bucket)
+            assert list(summary) == sorted(summary, key=repr)
+            seen.extend(summary)
+        assert sorted(seen) == sorted(keys)
+
+
+class TestAntiEntropyLifecycle:
+    @pytest.mark.parametrize("store_size", [200, 800])
+    def test_idle_round_bytes_constant_in_store_size(self, store_size):
+        """A converged store's anti-entropy round is one root probe and one
+        empty reply — O(1) bytes however many keys sit underneath it.  The
+        old protocol shipped the whole store here."""
+        # No gossip timers: ticks are driven manually so the measurement
+        # window holds exactly one round.
+        sim, net, kvs = build_kvs(full_sync_every=1, gossip_interval=None)
+        replica_a, replica_b = kvs.shards[0]
+        for index in range(store_size):
+            kvs.put(f"k-{index}", SetUnion({index}))
+        kvs.settle(100.0)  # eager replication converges the stores
+        # Drain the dirty sets and in-flight acks with a few manual rounds.
+        for _ in range(4):
+            replica_a._gossip_tick()
+            replica_b._gossip_tick()
+            sim.run(until=sim.now + 30.0)
+        assert_replicas_converged(kvs)
+        before = net.bytes_sent
+        replica_a._gossip_tick()
+        sim.run(until=sim.now + 50.0)
+        idle = net.bytes_sent - before
+        # One probe (one digest priced as one entry) + one empty reply:
+        # two envelopes, nowhere near even a two-entry payload.
+        assert 0 < idle <= 2 * wire_size(1), idle
+        assert idle < wire_size(store_size) / 20
+
+    def test_repair_ships_only_divergence(self):
+        """After one replica diverges by d keys, the next anti-entropy
+        round repairs exactly those d keys — never the whole store."""
+        sim, net, kvs = build_kvs(full_sync_every=1)
+        replica_a, replica_b = kvs.shards[0]
+        for index in range(400):
+            kvs.put(f"k-{index}", SetUnion({index}))
+        kvs.settle(600.0)
+        assert_replicas_converged(kvs)
+        # Diverge A silently: merge locally, then unmark the dirtiness so
+        # the delta machinery cannot repair it — only digests can.
+        for index in range(12):
+            replica_a.merge_local(f"k-{index}", SetUnion({f"fresh-{index}"}))
+        for dirty in replica_a._dirty.values():
+            dirty.clear()
+        before = net.metrics.counter("kvs.antientropy.repair_entries")
+        kvs.settle(200.0)
+        repaired = net.metrics.counter("kvs.antientropy.repair_entries") - before
+        assert_replicas_converged(kvs)
+        # Each diverged key is pushed by A and pulled back by B's own
+        # session at worst — strictly O(divergence), not O(store).
+        assert 12 <= repaired <= 24, repaired
+        assert net.metrics.counter("kvs.gossip.full_rounds") == 0
+
+    def test_lose_state_recovery_reconverges_via_digests(self):
+        """A state-losing recovery is healed entirely by digest recursion:
+        zero full-store rounds, repair entries O(lost keys), and the store
+        converges within the anti-entropy cadence horizon."""
+        sim, net, kvs = build_kvs(full_sync_every=5)
+        replica_a, replica_b = kvs.shards[0]
+        for index in range(60):
+            kvs.put(f"k-{index}", SetUnion({index}))
+        kvs.settle(400.0)
+        replica_b.crash()
+        replica_b.recover(lose_state=True)
+        assert replica_b.store == {}
+        assert len(replica_b._tree) == 0
+        # full_sync_every * gossip_interval covers the worst-case wait for
+        # the next anti-entropy round; the rest covers the recursion legs.
+        kvs.settle(5 * 20.0 + 200.0)
+        assert len(replica_b.store) == 60
+        assert_replicas_converged(kvs)
+        assert net.metrics.counter("kvs.gossip.full_rounds") == 0
+        repaired = net.metrics.counter("kvs.antientropy.repair_entries")
+        lost = net.metrics.counter("kvs.antientropy.lost_entries")
+        assert lost == 60
+        assert repaired <= 2 * kvs.replication_factor * lost
+
+    def test_reshard_rebuilds_only_moved_ranges(self):
+        """Growing the ring drops moved keys from the source shard's trees
+        incrementally: leaf buckets holding only unmoved keys keep their
+        digests bit-for-bit, and every tree still matches its store."""
+        sim, net, kvs = build_kvs(shards=2, replication=1,
+                                  gossip_interval=None)
+        for index in range(300):
+            kvs.put(f"k-{index}", SetUnion({index}))
+        kvs.settle(200.0)
+        survivor = kvs.shards[0][0]
+        old_store = set(survivor.store)
+        old_leaves = dict(survivor._tree._levels[LEAF_LEVEL])
+        kvs.reshard(4)
+        kvs.settle(200.0)
+        moved = old_store - set(survivor.store)
+        assert moved, "reshard moved nothing; the test needs more keys"
+        moved_buckets = {DigestTree.leaf_bucket(key) for key in moved}
+        new_leaves = survivor._tree._levels[LEAF_LEVEL]
+        for bucket, digest in old_leaves.items():
+            if bucket not in moved_buckets:
+                assert new_leaves.get(bucket) == digest, bucket
+        # And the incrementally-updated trees all match their stores.
+        for replica in kvs.all_nodes():
+            assert replica._tree == DigestTree.from_store(replica.store)
+
+    def test_trees_stay_pure_through_gossip_and_reshard(self):
+        """The purity oracle holds after a full workload: concurrent
+        conflicting writes, replication, gossip repair and a live reshard."""
+        sim, net, kvs = build_kvs(shards=2, replication=2, full_sync_every=5)
+        for index in range(90):
+            key = f"cart-{index % 30}"
+            replicas = kvs.replicas_for(key)
+            replicas[index % len(replicas)].merge_local(
+                key, SetUnion({f"item-{index}"}))
+        kvs.reshard(3)
+        for index in range(90, 120):
+            kvs.put(f"cart-{index}", SetUnion({index}))
+        kvs.settle(800.0)
+        assert_replicas_converged(kvs)
+        for replica in kvs.all_nodes():
+            assert replica._tree == DigestTree.from_store(replica.store)
+
+    def test_dead_peer_aborts_sessions_without_wedging(self):
+        """Probes to a crashed peer time out and abort the session; the
+        cadence keeps starting fresh exchanges instead of wedging behind a
+        ghost, and the eventual recovery converges."""
+        sim, net, kvs = build_kvs(full_sync_every=2)
+        replica_a, replica_b = kvs.shards[0]
+        for index in range(20):
+            kvs.put(f"k-{index}", SetUnion({index}))
+        kvs.settle(300.0)
+        replica_b.crash()
+        kvs.settle(500.0)
+        assert net.metrics.counter("kvs.antientropy.aborted") > 0
+        assert len(replica_a._ae_sessions) <= 1
+        replica_b.recover(lose_state=True)
+        kvs.settle(500.0)
+        assert_replicas_converged(kvs)
+        assert len(replica_b.store) == 20
+
+    def test_converged_rounds_cost_one_probe(self):
+        """The converged-round counter proves idle rounds stop at the root:
+        rounds accumulate while repair entries stay zero."""
+        sim, net, kvs = build_kvs(full_sync_every=1)
+        for index in range(50):
+            kvs.put(f"k-{index}", SetUnion({index}))
+        kvs.settle(600.0)
+        assert_replicas_converged(kvs)
+        rounds_before = net.metrics.counter("kvs.antientropy.rounds")
+        converged_before = net.metrics.counter("kvs.antientropy.converged_rounds")
+        repairs_before = net.metrics.counter("kvs.antientropy.repair_entries")
+        kvs.settle(200.0)
+        assert net.metrics.counter("kvs.antientropy.rounds") > rounds_before
+        assert (net.metrics.counter("kvs.antientropy.converged_rounds")
+                > converged_before)
+        assert net.metrics.counter("kvs.antientropy.repair_entries") == repairs_before

@@ -3,7 +3,7 @@
 The delta protocol must be an *optimization only*: replicas reach exactly
 the fixpoint snapshot gossip reaches — under concurrent conflicting writes,
 across a live reshard, under heavy message loss (retransmission), and after
-a state-losing recovery (periodic full-sync anti-entropy) — while shipping
+a state-losing recovery (digest-tree anti-entropy) — while shipping
 orders of magnitude fewer simulated bytes per round once converged.
 """
 
@@ -119,10 +119,11 @@ class TestDeltaGossipRobustness:
         for index in range(10):
             assert len(kvs.get_merged(f"k-{index}").elements) == 3
 
-    def test_full_sync_heals_state_losing_recovery(self):
+    def test_anti_entropy_heals_state_losing_recovery(self):
         """A replica that recovers with lost state is repopulated by the
-        periodic full-store anti-entropy rounds, not by deltas (its peers'
-        dirty sets are empty once converged)."""
+        periodic digest-tree anti-entropy rounds, not by deltas (its peers'
+        dirty sets are empty once converged) — and never by a full-store
+        round, which in delta mode only channel saturation may trigger."""
         sim, net, kvs = build_kvs("delta", shards=1, replication=2,
                                   full_sync_every=5)
         replica_a, replica_b = kvs.shards[0]
@@ -132,10 +133,12 @@ class TestDeltaGossipRobustness:
         replica_b.crash()
         replica_b.recover(lose_state=True)
         assert len(replica_b.store) == 0
-        # No new writes: only full syncs can carry the old keys back.
+        # No new writes: only anti-entropy can carry the old keys back.
         kvs.settle(400.0)
         assert len(replica_b.store) == 40
         assert_replicas_converged(kvs)
+        assert net.metrics.counter("kvs.gossip.full_rounds") == 0
+        assert net.metrics.counter("kvs.antientropy.repair_entries") >= 40
 
     def test_recovered_replica_resumes_gossiping(self):
         """Crash cancels the gossip timer; recover must re-arm it, or a
@@ -264,7 +267,7 @@ class TestDeltaGossipRobustness:
 
     def test_gossip_quiesces_to_deltas_after_convergence(self):
         """Once converged, non-full delta rounds ship nothing; only the
-        periodic anti-entropy round still carries the store."""
+        periodic anti-entropy round still exchanges (O(1)) digests."""
         sim, net, kvs = build_kvs("delta", shards=1, replication=2,
                                   full_sync_every=1000)
         replica_a, replica_b = kvs.shards[0]
@@ -285,7 +288,7 @@ class TestDeltaGossipRobustness:
 class TestRecoverDuringPartition:
     """Audit for FailureInjector.recover_now(lose_state=True): a replica
     recovered with lost state must rejoin delta gossip — its own writes
-    must be dirty-marked toward peers, and peers' periodic full-sync
+    must be dirty-marked toward peers, and peers' periodic digest-tree
     anti-entropy must refill it — even when the recovery happens while a
     partition is still unhealed and every message in between is lost."""
 
@@ -317,7 +320,7 @@ class TestRecoverDuringPartition:
 
         net.heal(partition)
         kvs.settle(600.0)
-        assert len(replica_b.store) == 40  # refilled by full-sync rounds
+        assert len(replica_b.store) == 40  # refilled by anti-entropy rounds
         assert replica_a.value_of("k-35") == SetUnion({35})  # B's dirty keys
         assert_replicas_converged(kvs)
 

@@ -7,7 +7,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.storage.ring import HashRing, stable_digest, stable_key_bytes
+from repro.storage.ring import (
+    HashRing,
+    digest_cache_stats,
+    stable_digest,
+    stable_key_bytes,
+)
 
 SRC = str(Path(__file__).resolve().parents[2] / "src")
 
@@ -27,6 +32,40 @@ class TestStableDigest:
         assert len(digests) == len(values)
         # bool would collide with int without its tag.
         assert stable_key_bytes(True) != stable_key_bytes(1)
+
+    def test_memo_survives_50k_key_churn(self):
+        """LRU eviction keeps the memo warm at 50k-key working sets.
+
+        The old cache cleared itself wholesale at 8192 entries, so any loop
+        over a 50k-key store (a digest-tree rebuild, a routing sweep)
+        re-hashed the entire keyspace on every pass.  With one-at-a-time
+        LRU eviction and a 65536 cap, a second pass over the same 50k keys
+        in the same order must be nearly all hits.
+        """
+        keys = [f"churn-key-{i}" for i in range(50_000)]
+        for key in keys:
+            stable_digest(key)
+        before = digest_cache_stats()
+        for key in keys:
+            stable_digest(key)
+        after = digest_cache_stats()
+        hits = after["hits"] - before["hits"]
+        misses = after["misses"] - before["misses"]
+        assert hits / len(keys) > 0.99, (hits, misses)
+
+    def test_memo_evicts_one_entry_at_a_time(self):
+        """Overflow evicts the single oldest entry, never the whole memo."""
+        from repro.storage import ring
+
+        ring._digest_cache.clear()
+        for i in range(ring._DIGEST_CACHE_MAX + 100):
+            stable_digest(("evict-probe", i))
+        assert len(ring._digest_cache) == ring._DIGEST_CACHE_MAX
+        # The newest entries survived; the oldest were the ones evicted.
+        assert ring.stable_key_bytes(("evict-probe", 50)) not in ring._digest_cache
+        newest = ring.stable_key_bytes(
+            ("evict-probe", ring._DIGEST_CACHE_MAX + 99))
+        assert newest in ring._digest_cache
 
     def test_composite_keys_encode_recursively(self):
         assert stable_digest(("user", 42)) == stable_digest(("user", 42))
