@@ -31,6 +31,7 @@ from repro.chaos.checkers import (
     check_causal,
     check_convergence,
     check_gossip_byte_budget,
+    check_link_byte_conservation,
     check_paxos_safety,
     check_session_guarantees,
     staleness_bound,
@@ -74,6 +75,7 @@ from repro.chaos.scenario import (
     ScenarioResult,
     build_env,
     fast_config,
+    geo_config,
     run_scenario,
     thorough_config,
 )
@@ -113,12 +115,13 @@ __all__ = [
     "CheckResult", "check_convergence", "check_session_guarantees",
     "check_causal", "check_paxos_safety", "check_calm_coordination_free",
     "check_cart_integrity", "check_gossip_byte_budget",
+    "check_link_byte_conservation",
     "check_bounded_staleness", "staleness_bound",
     "calm_latency_bound", "canonicalize",
     "state_digest", "summarize",
     # scenarios & sweeps
     "ChaosConfig", "ScenarioResult", "run_scenario", "build_env",
-    "fast_config", "thorough_config", "ALL_WORKLOADS",
+    "fast_config", "geo_config", "thorough_config", "ALL_WORKLOADS",
     "sweep", "replay", "shrink", "standard_schedule", "repro_snippet",
     "SweepReport", "SeedFailure",
 ]

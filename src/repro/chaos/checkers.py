@@ -427,6 +427,40 @@ def check_gossip_byte_budget(env: ChaosEnv) -> CheckResult:
     return result
 
 
+def check_link_byte_conservation(env: ChaosEnv) -> CheckResult:
+    """Every byte the network accepted is accounted for, on every link.
+
+    The transmission model keeps a per-link ledger
+    (:meth:`~repro.cluster.network.Network.link_byte_stats`); this checker
+    asserts its conservation invariant after the scenario's final heal +
+    settle: ``enqueued == delivered + dropped + in_flight`` with
+    ``in_flight >= 0`` on every link.  ``in_flight`` need not be zero — a
+    settled cluster's cadences keep re-arming, so the final tick's gossip
+    may legitimately still be on the wire — but every such byte must be
+    balanced.  Partitions, drop lotteries, congestion squeezes and
+    mid-flight squeeze clears all reshape *where* bytes land (delivered vs
+    dropped), never whether they are counted.  Trivially green while the
+    model is off (no ledger exists).
+    """
+    result = CheckResult("link-byte-conservation")
+    for link, stat in sorted(env.network.link_byte_stats().items(),
+                             key=lambda kv: (str(kv[0][0]), str(kv[0][1]))):
+        balance = (stat["delivered_bytes"] + stat["dropped_bytes"]
+                   + stat["in_flight_bytes"])
+        if stat["enqueued_bytes"] != balance:
+            result.failures.append(
+                f"{link[0]}->{link[1]}: {stat['enqueued_bytes']} B enqueued "
+                f"but {stat['delivered_bytes']} delivered + "
+                f"{stat['dropped_bytes']} dropped + "
+                f"{stat['in_flight_bytes']} in flight = {balance} B")
+        if stat["in_flight_bytes"] < 0:
+            result.failures.append(
+                f"{link[0]}->{link[1]}: in_flight_bytes went negative "
+                f"({stat['in_flight_bytes']}) — something resolved a "
+                f"message it never transmitted")
+    return result
+
+
 def _exempt(op: Op, env: ChaosEnv) -> bool:
     """True when the acking replica later lost state: outcome indeterminate."""
     replica = op.info.get("replica")

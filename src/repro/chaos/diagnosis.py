@@ -146,9 +146,20 @@ def _median(values: Sequence[float]) -> float:
 
 
 class _Observations:
-    """Per-bucket digests of the observatory, shared by all rules."""
+    """Per-bucket digests of the observatory, shared by all rules.
 
-    def __init__(self, observatory) -> None:
+    ``expected`` (optional) maps a link to its expected pristine delivery
+    latency; when provided, every link mean is *normalized* by it before
+    any rule sees it, so the latency rules compare links in units of
+    "multiples of this link's own healthy latency".  Without normalization
+    a locality-priced topology (a :class:`~repro.cluster.DelayMatrix`)
+    breaks boolean tomography's homogeneity assumption: a node whose links
+    are mostly cross-region sits far above the fabric median while
+    perfectly healthy, and the node-slow rule convicts geography.  With
+    ``expected=None`` the raw means are used, bit-for-bit as before.
+    """
+
+    def __init__(self, observatory, expected=None) -> None:
         self.observatory = observatory
         self.buckets = observatory.buckets()
         self.last_bucket = self.buckets[-1] if self.buckets else -1
@@ -159,6 +170,7 @@ class _Observations:
         self.inbound: dict[tuple[Hashable, int], int] = {}
         self.outbound: dict[tuple[Hashable, int], int] = {}
         # per bucket: {link: mean latency} over links with deliveries
+        # (normalized to the link's expected latency when one is priced)
         self.link_means: dict[int, dict[tuple, float]] = {}
         self.median_latency: dict[int, float] = {}
         for bucket in self.buckets:
@@ -173,7 +185,10 @@ class _Observations:
                     key_in = (dst, bucket)
                     self.inbound[key_in] = (self.inbound.get(key_in, 0)
                                             + stat.delivered_messages)
-                    means[(src, dst)] = stat.mean_latency
+                    mean = stat.mean_latency
+                    if expected is not None:
+                        mean /= expected((src, dst))
+                    means[(src, dst)] = mean
             self.link_means[bucket] = means
             self.median_latency[bucket] = _median(list(means.values()))
         self.nodes = sorted({node for node, _ in self.inbound}
@@ -234,28 +249,58 @@ def _silent_node_blames(obs: _Observations,
     return blames
 
 
-def _unanimity_holds(node, slow, means, threshold) -> bool:
-    """Whether a single unanimous-slow bucket is safe to blame on ``node``.
+def _run_wide_footprint(obs: "_Observations", endpoint) -> int:
+    """How many (bucket, link) observations across the whole run show
+    ``endpoint`` on a slow link, judged against each bucket's median."""
+    footprint = 0
+    for bucket in obs.buckets:
+        median = obs.median_latency[bucket]
+        if median <= 0:
+            continue
+        footprint += sum(1 for link, mean in obs.link_means[bucket].items()
+                         if endpoint in link and mean >= SLOW_RATIO * median)
+    return footprint
 
-    Latency on a link is shared evidence: both endpoints could explain it.
-    A lone bucket convicts only if (a) the slowness shows in *both*
-    directions — a one-sided reading is usually a neighbouring fault
-    caught mid-bucket — and (b) no single common peer has a strictly
-    larger slow-link footprint in the same bucket (tomography's minimal
-    explanation: the bigger footprint is the culprit, and these links are
-    merely shared with it).
+
+def _shared_with_bigger_culprit(node, slow, means, threshold, obs) -> bool:
+    """Tomography's minimal explanation: latency on a link is shared
+    evidence (either endpoint could explain it), so when every slow link
+    touching ``node`` runs through one common peer whose slow-link
+    footprint in the same bucket is strictly larger, the peer is the
+    culprit and ``node`` is merely adjacent.  Decisive under a
+    geo/locality profile, where a sparsely-sampled bucket often catches a
+    victim replica only on its links to the actual straggler.
+
+    When the in-bucket footprints tie — typically because the only slow
+    links are the two directions of a single node↔peer pair — the bucket
+    alone cannot tell the endpoints apart, so the tie is broken run-wide:
+    a peer that shows up slow in more buckets across the whole run is the
+    better minimal explanation.
     """
-    if not (any(link[0] == node for link in slow)
-            and any(link[1] == node for link in slow)):
-        return False
     common = set.intersection(
         *({end for end in link if end != node} for link in slow))
-    for peer in sorted(common):
+    for peer in sorted(common, key=str):
         peer_slow = sum(1 for link, mean in means.items()
                         if peer in link and mean >= threshold)
         if peer_slow > len(slow):
-            return False
-    return True
+            return True
+        if (peer_slow == len(slow)
+                and _run_wide_footprint(obs, peer)
+                > _run_wide_footprint(obs, node)):
+            return True
+    return False
+
+
+def _unanimity_holds(node, slow, means, threshold) -> bool:
+    """Whether a single unanimous-slow bucket is safe to blame on ``node``.
+
+    A lone bucket convicts only if the slowness shows in *both* directions
+    — a one-sided reading is usually a neighbouring fault caught
+    mid-bucket.  (The shared-evidence common-peer test already ran when
+    the bucket qualified.)
+    """
+    return (any(link[0] == node for link in slow)
+            and any(link[1] == node for link in slow))
 
 
 def _slow_node_blames(obs: _Observations,
@@ -291,6 +336,9 @@ def _slow_node_blames(obs: _Observations,
                              >= SLOW_SINGLE_LINK_RATIO * baseline)
             else:
                 qualifies = len(slow) / len(touching) >= SLOW_LINK_FRACTION
+            if qualifies and _shared_with_bigger_culprit(
+                    node, slow, means, SLOW_RATIO * baseline, obs):
+                qualifies = False
             if qualifies:
                 qualifying.append(bucket)
                 if (len(touching) >= 2 and len(slow) == len(touching)
@@ -404,6 +452,36 @@ def _client_blames(history: History, client_ids: set[Hashable],
     return blames
 
 
+def _expected_link_latency(env):
+    """Per-link expected pristine latency under a :class:`DelayMatrix`.
+
+    Returns ``None`` (no normalization, the homogeneous-fabric fast path)
+    unless the pristine config prices links per domain pair.  The
+    expectation is propagation only — matrix delay (or base delay for
+    unmatched pairs, e.g. workload clients in the ``default`` domain) plus
+    mean jitter.  Serialization is deliberately *not* folded in: healthy
+    serialization is small at the profile's bandwidths, and folding it in
+    would teach the baseline to expect congestion.  Like ``diagnose``
+    itself, this reads only deployment knowledge (who is placed where),
+    never fault state.
+    """
+    config = env.pristine_config
+    matrix = config.delay_matrix
+    if matrix is None:
+        return None
+    domains = env.network.domains()
+    jitter_mean = config.jitter / 2
+
+    def expected(link):
+        spec = matrix.link(domains.get(link[0]), domains.get(link[1]))
+        base = config.base_delay
+        if spec is not None and spec.delay is not None:
+            base = spec.delay
+        return base + jitter_mean
+
+    return expected
+
+
 def diagnose(env, history: History,
              client_ids: Optional[set[Hashable]] = None) -> DiagnosisReport:
     """Localize faults from end-to-end observations only.
@@ -414,9 +492,15 @@ def diagnose(env, history: History,
     """
     if client_ids is None:
         client_ids = set(env.client_ids())
-    obs = _Observations(env.network.observatory)
-    pristine_latency = (env.pristine_config.base_delay
-                        + env.pristine_config.jitter / 2)
+    expected = _expected_link_latency(env)
+    obs = _Observations(env.network.observatory, expected=expected)
+    if expected is not None:
+        # Link means are normalized to each link's own expectation, so the
+        # pristine fabric reads ~1.0 by construction.
+        pristine_latency = 1.0
+    else:
+        pristine_latency = (env.pristine_config.base_delay
+                            + env.pristine_config.jitter / 2)
     fabric, _latency_buckets = _fabric_blames(
         obs, pristine_latency, env.pristine_config.drop_rate)
     report = DiagnosisReport()

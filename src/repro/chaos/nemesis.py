@@ -88,8 +88,12 @@ class ChaosEnv:
         #: Worst link delay (base + jitter, times the worst pair of
         #: slow-node factors) seen at any point of the run — latency spikes
         #: and slow-node faults raise it.  The CALM checker's latency bound
-        #: must scale with it, not with the pristine config.
-        self.max_link_delay = self.network.config.base_delay + self.network.config.jitter
+        #: must scale with it, not with the pristine config.  A
+        #: :class:`~repro.cluster.DelayMatrix` may pin per-domain delays
+        #: above ``base_delay`` (cross-region links), so the worst matrix
+        #: entry joins the baseline.
+        self.max_link_delay = (self._worst_base_delay(self.network.config)
+                               + self.network.config.jitter)
         #: High-water mark of any node's timer drift — skewed local clocks
         #: stretch cadences and RPC retry timers, so latency bounds scale
         #: with it.
@@ -178,19 +182,22 @@ class ChaosEnv:
         self.network.remove_node_delay_factor(node_id, factor)
         self._apply_link_degradations()
 
-    def push_bandwidth_squeeze(self, factor: float) -> None:
+    def push_bandwidth_squeeze(self, factor: float):
         """Squeeze every link's bandwidth (the congestion fault).
 
         The squeeze state lives in the Network (the single owner of link
         transmission state); overlapping squeezes compose multiplicatively
         and restore independently, like the other link degradations.  A
         config without a bandwidth model is unaffected — bytes only take
-        time when the model prices them.
+        time when the model prices them.  Returns the squeeze handle; pass
+        it back to :meth:`pop_bandwidth_squeeze` so an expiring window can
+        only ever retire *its own* squeeze (``heal_everything`` may have
+        cleared it already, and a same-factor fault may be active).
         """
-        self.network.add_bandwidth_squeeze(factor)
+        return self.network.add_bandwidth_squeeze(factor)
 
-    def pop_bandwidth_squeeze(self, factor: float) -> None:
-        self.network.remove_bandwidth_squeeze(factor)
+    def pop_bandwidth_squeeze(self, squeeze) -> None:
+        self.network.remove_bandwidth_squeeze(squeeze)
 
     def apply_clock_skew(self, node: Node, offset: float, drift: float) -> None:
         """Skew ``node``'s local clock: shift its reading, stretch its timers."""
@@ -217,6 +224,20 @@ class ChaosEnv:
         return (self.network.transport_config.rpc.retry_allowance
                 * self.max_timer_drift)
 
+    @staticmethod
+    def _worst_base_delay(config: NetworkConfig) -> float:
+        """The worst pre-jitter delay any link can sample under ``config``.
+
+        Matrix-pinned delays replace ``base_delay`` in ``_sample_delay``
+        and carry the spike stretch through ``delay_stretch``, so the worst
+        (already-stretched) entry competes with the spiked base.
+        """
+        worst = config.base_delay
+        if config.delay_matrix is not None:
+            worst = max(worst,
+                        config.delay_matrix.max_delay() * config.delay_stretch)
+        return worst
+
     def _apply_link_degradations(self) -> None:
         config = self.network.config
         factor = 1.0
@@ -224,6 +245,9 @@ class ChaosEnv:
             factor *= spike
         config.base_delay = self.pristine_config.base_delay * factor
         config.jitter = self.pristine_config.jitter * factor
+        # Matrix-pinned (geo) links scale through the stretch knob instead
+        # of base_delay; outside spike windows it is exactly 1.0.
+        config.delay_stretch = self.pristine_config.delay_stretch * factor
         config.drop_rate = max([self.pristine_config.drop_rate] + self._drop_rates)
         # A link's delay is multiplied by the factor product of *both*
         # endpoints; the worst pair is the two largest per-node products.
@@ -231,8 +255,9 @@ class ChaosEnv:
         for node_factor in sorted(self.network.slowed_nodes().values(),
                                   reverse=True)[:2]:
             worst_pair *= node_factor
-        self.max_link_delay = max(self.max_link_delay,
-                                  (config.base_delay + config.jitter) * worst_pair)
+        self.max_link_delay = max(
+            self.max_link_delay,
+            (self._worst_base_delay(config) + config.jitter) * worst_pair)
 
     # -- global heal (the Jepsen "final reads" phase) ------------------------------
 
@@ -524,6 +549,14 @@ class LatencySpike(Fault):
     the effective delay is always recomputed from the pristine config and
     the set of *currently active* spikes, never from saved-at-start values
     (which would let one spike's restore re-impose another's degradation).
+
+    Delays pinned by a :class:`~repro.cluster.DelayMatrix` stretch by the
+    same factor (via ``NetworkConfig.delay_stretch``): a spike models
+    fabric-wide RTT inflation — bufferbloat, routing flaps — which hits
+    long-haul paths too.  Degrading every link by one factor is also what
+    keeps the spike *fabric*-shaped for the tomography rules; bandwidth
+    squeezes (:class:`Congestion`) remain the mechanism that loads the
+    thin inter-region pipes specifically.
     """
 
     duration: float = 40.0
@@ -606,16 +639,21 @@ class Congestion(Fault):
                                   label="nemesis congestion")
 
     def _start(self, env: ChaosEnv) -> None:
-        env.push_bandwidth_squeeze(self.factor)
+        # The handle travels through the restore closure (a frozen fault
+        # can't store it): retiring by identity means this window expiring
+        # can never un-squeeze a *different* congestion that reused the
+        # same factor after ``heal_everything`` cleared this one.
+        squeeze = env.push_bandwidth_squeeze(self.factor)
         env.log_fault(f"congestion /{self.factor}")
         env.record_ground_truth("Congestion", ("fabric",),
                                 env.simulator.now,
                                 env.simulator.now + self.duration)
-        env.simulator.schedule(self.duration, lambda: self._restore(env),
+        env.simulator.schedule(self.duration,
+                               lambda: self._restore(env, squeeze),
                                label="nemesis congestion-restore")
 
-    def _restore(self, env: ChaosEnv) -> None:
-        env.pop_bandwidth_squeeze(self.factor)
+    def _restore(self, env: ChaosEnv, squeeze) -> None:
+        env.pop_bandwidth_squeeze(squeeze)
         env.log_fault("congestion restored")
 
     def window(self) -> tuple[float, float]:

@@ -28,6 +28,7 @@ from repro.chaos.checkers import (
     check_causal,
     check_convergence,
     check_gossip_byte_budget,
+    check_link_byte_conservation,
     check_paxos_safety,
     check_session_guarantees,
     summarize,
@@ -47,6 +48,11 @@ from repro.chaos.workloads import (
     PaxosWorkload,
 )
 from repro.cluster import NetworkConfig
+from repro.placement.geo import (
+    GEO_NIC_BANDWIDTH,
+    geo_delay_matrix,
+    locality_aware_domain,
+)
 from repro.storage import LatticeKVS
 
 #: All workload names, in start order.
@@ -96,11 +102,25 @@ class ChaosConfig:
     #: must still pass — a failure under this flag is a latent RL004-class
     #: bug (code that latched onto one specific sorted order).
     perturb_order: bool = False
+    #: Geo profile: price links with the 3-region × 2-AZ
+    #: :func:`~repro.placement.geo.geo_delay_matrix` and place replicas
+    #: with :func:`~repro.placement.geo.locality_aware_domain`, so
+    #: ``DomainOutage``/``Congestion``/``PartitionStorm`` interact with
+    #: locality (cross-region links are slow and thin; a shard's quorum
+    #: lives inside one region).  Workload clients stay in the ``default``
+    #: domain and fall back to ``base_delay``/``link_bandwidth``.
+    geo: bool = False
+    #: Per-node shared NIC bandwidth (bytes/tick); ``None`` leaves the NIC
+    #: stage off (byte-identical to the pre-NIC network).
+    nic_bandwidth: Optional[float] = None
 
     def network_config(self) -> NetworkConfig:
         return NetworkConfig(base_delay=self.base_delay, jitter=self.jitter,
                              drop_rate=self.drop_rate,
-                             bandwidth=self.link_bandwidth)
+                             bandwidth=self.link_bandwidth,
+                             delay_matrix=geo_delay_matrix() if self.geo
+                             else None,
+                             nic_bandwidth=self.nic_bandwidth)
 
 
 @dataclass
@@ -143,7 +163,9 @@ def build_env(seed: int, config: ChaosConfig) -> ChaosEnv:
                          replication_factor=config.replication,
                          gossip_interval=config.gossip_interval,
                          vnodes=config.vnodes,
-                         full_sync_every=config.full_sync_every)
+                         full_sync_every=config.full_sync_every,
+                         placement=locality_aware_domain if config.geo
+                         else None)
     env.refresh_injector()
     return env
 
@@ -199,6 +221,8 @@ def run_scenario(seed: int, schedule: Sequence[Fault],
         ("calm-coordination-free",
          lambda: check_calm_coordination_free(history, env)),
         ("gossip-byte-budget", lambda: check_gossip_byte_budget(env)),
+        ("link-byte-conservation",
+         lambda: check_link_byte_conservation(env)),
         ("bounded-staleness",
          lambda: check_bounded_staleness(
              history, env, full_sync_every=config.full_sync_every,
@@ -234,6 +258,12 @@ def run_scenario(seed: int, schedule: Sequence[Fault],
 def fast_config() -> ChaosConfig:
     """The CI sweep profile: small plans, short horizons, full coverage."""
     return ChaosConfig()
+
+
+def geo_config() -> ChaosConfig:
+    """The fast profile over the geo topology: locality-priced links,
+    locality-aware replica placement, and shared NIC queues at every node."""
+    return replace(ChaosConfig(), geo=True, nic_bandwidth=GEO_NIC_BANDWIDTH)
 
 
 def thorough_config() -> ChaosConfig:

@@ -56,6 +56,7 @@ from repro.chaos.scenario import (
     ChaosConfig,
     ScenarioResult,
     fast_config,
+    geo_config,
     run_scenario,
 )
 
@@ -398,6 +399,11 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
                         help="reverse the transport's sorted flush order "
                              "to smoke out code latched onto one specific "
                              "deterministic order (latent RL004 misses)")
+    parser.add_argument("--geo", action="store_true",
+                        help="run under the geo profile: 3-region x 2-AZ "
+                             "delay/bandwidth matrix, locality-aware "
+                             "replica placement, shared per-node NIC "
+                             "queues (see repro.placement.geo)")
     args = parser.parse_args(argv)
 
     if args.replay:
@@ -420,7 +426,8 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
                 exit_code = 1
         return exit_code
 
-    config = dataclasses.replace(fast_config(), sanitize=args.sanitize,
+    config = dataclasses.replace(geo_config() if args.geo else fast_config(),
+                                 sanitize=args.sanitize,
                                  perturb_order=args.perturb_order)
     report = sweep(range(args.seeds), standard_schedule(),
                    config=config,

@@ -12,10 +12,18 @@ Bytes take time: when :attr:`NetworkConfig.bandwidth` (or a
 pair models a FIFO transmission queue — a message's delivery time is its
 queueing delay behind earlier messages on the same link, plus its
 serialization time (``size_bytes / bandwidth``), plus the sampled
-propagation delay.  With the model off (the default: no bandwidth
-anywhere), every code path — including the RNG draws — is exactly the
-size-blind network of earlier revisions, so existing traces stay
-byte-identical.
+propagation delay.  When :attr:`NetworkConfig.nic_bandwidth` (or a
+per-node override) additionally prices a node's NIC, the message first
+serializes through the sender's shared *uplink* queue and finally through
+the receiver's shared *downlink* queue — so a same-instant fan-out to N
+peers contends at the source instead of enjoying N free parallel links:
+
+    delivery = NIC wait + NIC serialization + link queue wait
+               + link serialization + propagation delay
+
+With the model off (the default: no bandwidth anywhere), every code path —
+including the RNG draws — is exactly the size-blind network of earlier
+revisions, so existing traces stay byte-identical.
 """
 
 from __future__ import annotations
@@ -25,9 +33,10 @@ from typing import Any, Callable, Hashable, Optional
 
 from repro.cluster.simulator import Simulator
 
-#: Shared zero-cost transmission tuple: reused (and identity-compared) on
-#: the model-off fast path so sends allocate nothing for it.
-_NO_COST = (0.0, 0.0)
+#: Shared zero-cost ``(queue_wait, serialization, nic_wait)`` transmission
+#: tuple: reused (and identity-compared) on the model-off fast path so
+#: sends allocate nothing for it.
+_NO_COST = (0.0, 0.0, 0.0)
 
 #: Modelled fixed cost of any message: routing envelope, mailbox name, ids.
 WIRE_HEADER_BYTES = 24
@@ -58,10 +67,10 @@ class Message:
     message_id: int
     #: Declared wire size; what the transmission model charges the link.
     size_bytes: int = 0
-    #: Out-of-band (queue_wait, serialization) cost the network stamps on
-    #: the message it scheduled (via ``object.__setattr__`` — the message
-    #: stays frozen for senders).  Declared as a field so the class can be
-    #: slotted; excluded from equality/repr like any transport-side rider.
+    #: Out-of-band (queue_wait, serialization, nic_wait) cost the network
+    #: stamps on the message it scheduled (via ``object.__setattr__`` — the
+    #: message stays frozen for senders).  Declared as a field so the class
+    #: can be slotted; excluded from equality/repr like any transport rider.
     transmission: tuple = field(default=_NO_COST, compare=False, repr=False)
     #: Out-of-band responder state for RPC requests (see
     #: ``transport._InboundRequest``); same slotting rationale.
@@ -124,6 +133,20 @@ class DelayMatrix:
                                 bandwidth=inter_bandwidth)
         return matrix
 
+    def max_delay(self) -> float:
+        """The largest propagation delay pinned by any entry (0.0 if none).
+
+        Latency-bound checkers use this to size their per-hop budget: a
+        matrix may pin delays far above ``NetworkConfig.base_delay``, and a
+        bound derived from the base alone would be violated by every
+        healthy cross-region hop.
+        """
+        worst = 0.0
+        for spec in self._links.values():
+            if spec.delay is not None and spec.delay > worst:
+                worst = spec.delay
+        return worst
+
     def __len__(self) -> int:
         return len(self._links)
 
@@ -158,6 +181,19 @@ class NetworkConfig:
     bandwidth: Optional[float] = None
     #: Per-domain-pair delay/bandwidth overrides; ``None`` means none.
     delay_matrix: Optional[DelayMatrix] = None
+    #: Multiplier on matrix-pinned delays (``base_delay`` links are already
+    #: covered by fault code scaling ``base_delay`` itself).  The chaos
+    #: harness's latency spikes set this so fabric-wide RTT inflation
+    #: (bufferbloat, routing flaps) degrades locality-priced long-haul
+    #: links too, not only the base-priced ones.
+    delay_stretch: float = 1.0
+    #: Bytes per tick a node's shared NIC transmits.  Unlike ``bandwidth``
+    #: (per ``(src, dst)`` pair), this queue is shared by *all* of a node's
+    #: links: outbound messages serialize through the sender's uplink
+    #: before the per-link pipe, and through the receiver's downlink after
+    #: it.  ``None`` means infinite (NIC stage off); per-node overrides via
+    #: :meth:`Network.set_nic_bandwidth`.
+    nic_bandwidth: Optional[float] = None
 
 
 @dataclass(slots=True)
@@ -194,6 +230,20 @@ class Partition:
                 and source in self.group_b and destination in self.group_a)
 
 
+@dataclass(slots=True, eq=False)
+class BandwidthSqueeze:
+    """Handle for one active congestion squeeze.
+
+    Retired by **identity**, like :class:`Partition` handles: two
+    overlapping ``Congestion`` faults with the same factor hold distinct
+    handles, so one window expiring never un-squeezes the other (a
+    value-based ``list.remove`` would conflate them — see
+    :meth:`Network.remove_bandwidth_squeeze`).
+    """
+
+    factor: float
+
+
 class Network:
     """Delivers messages between registered nodes with simulated asynchrony.
 
@@ -225,20 +275,29 @@ class Network:
         # Transmission model state (inert while the model is off):
         #   _link_busy_until   per-(src, dst) FIFO horizon — when the link
         #                      finishes serializing everything enqueued so far
-        #   _bandwidth_squeezes  active congestion factors; the effective
+        #   _nic_up_busy /     per-node shared NIC FIFO horizons (uplink at
+        #   _nic_down_busy     the sender, downlink at the receiver)
+        #   _nic_bandwidth     per-node NIC overrides on top of the config
+        #   _bandwidth_squeezes  active congestion handles; the effective
         #                      bandwidth is the configured one divided by
-        #                      their product (kept as a list so overlapping
-        #                      faults compose and restore independently)
+        #                      the product of their factors (identity-retired
+        #                      so overlapping faults restore independently)
         #   _link_stats        per-link byte conservation ledger
         self._link_busy_until: dict[tuple[Hashable, Hashable], float] = {}
-        self._bandwidth_squeezes: list[float] = []
+        self._nic_up_busy: dict[Hashable, float] = {}
+        self._nic_down_busy: dict[Hashable, float] = {}
+        self._nic_bandwidth: dict[Hashable, float] = {}
+        self._bandwidth_squeezes: list[BandwidthSqueeze] = []
         self._link_stats: dict[tuple[Hashable, Hashable], dict[str, int]] = {}
-        #: (queue_wait, serialization) of the message `send` last scheduled;
-        #: the transport reads it back to ledger serialization ticks.
-        self.last_transmission: tuple[float, float] = (0.0, 0.0)
-        #: High-water mark of queue_wait + serialization observed on any
-        #: link — the CALM latency bound consumes this instead of assuming
-        #: transmission is free.
+        #: (queue_wait, serialization, nic_wait) of the most recent ``send``
+        #: call: the primary transmission's cost when that send was priced
+        #: and scheduled, and the zero tuple when it was dropped or unpriced
+        #: (a fabric-injected duplicate's second transmission is *not*
+        #: reflected — the sender only ledgers what it asked for).
+        self.last_transmission: tuple[float, float, float] = _NO_COST
+        #: High-water mark of nic_wait + queue_wait + serialization observed
+        #: on any link — the CALM latency bound consumes this instead of
+        #: assuming transmission is free.
         self.max_transmission_delay = 0.0
         #: Opt-in for the ``net.delivery`` latency recorder while the model
         #: is off (with the model on, every delivery is recorded).
@@ -271,6 +330,11 @@ class Network:
         """Record the failure domain of a node for locality-aware delays."""
         self._same_domain[node_id] = domain
 
+    def domains(self) -> dict[Hashable, Hashable]:
+        """A copy of the node → failure-domain map (diagnosis reads this to
+        price each link's expected latency under a :class:`DelayMatrix`)."""
+        return dict(self._same_domain)
+
     # -- per-node link degradation (slow-node faults) ----------------------------
 
     def add_node_delay_factor(self, node_id: Hashable, factor: float) -> None:
@@ -300,19 +364,38 @@ class Network:
 
     # -- congestion (bandwidth squeezes) -----------------------------------------
 
-    def add_bandwidth_squeeze(self, factor: float) -> None:
-        """Divide every link's bandwidth by ``factor`` until removed.
+    def add_bandwidth_squeeze(self, factor: float) -> BandwidthSqueeze:
+        """Divide every link's (and NIC's) bandwidth by ``factor`` until the
+        returned handle is removed.
 
         Only meaningful while the transmission model is on; with no
         bandwidth configured anywhere, bytes cost no time to squeeze.
         """
         if factor <= 0:
             raise ValueError(f"squeeze factor must be positive, got {factor}")
-        self._bandwidth_squeezes.append(factor)
+        squeeze = BandwidthSqueeze(factor)
+        self._bandwidth_squeezes.append(squeeze)
+        return squeeze
 
-    def remove_bandwidth_squeeze(self, factor: float) -> None:
-        if factor in self._bandwidth_squeezes:
-            self._bandwidth_squeezes.remove(factor)
+    def remove_bandwidth_squeeze(self,
+                                 squeeze: BandwidthSqueeze | float) -> None:
+        """Retire one active squeeze.
+
+        Idempotent.  Pass the handle :meth:`add_bandwidth_squeeze` returned
+        — removal is by handle identity, so a stale restore (a congestion
+        window that was already cleared) can never un-squeeze a *different*
+        fault that happens to use the same factor.  A bare float retires
+        the first active squeeze with that factor (the pre-handle calling
+        convention, kept for direct-driving tests).
+        """
+        if isinstance(squeeze, BandwidthSqueeze):
+            self._bandwidth_squeezes = [
+                s for s in self._bandwidth_squeezes if s is not squeeze]
+            return
+        for handle in self._bandwidth_squeezes:
+            if handle.factor == squeeze:
+                self._bandwidth_squeezes.remove(handle)
+                return
 
     def clear_bandwidth_squeezes(self) -> None:
         self._bandwidth_squeezes.clear()
@@ -321,9 +404,51 @@ class Network:
     def bandwidth_squeeze(self) -> float:
         """The composed product of all active congestion factors."""
         product = 1.0
-        for factor in self._bandwidth_squeezes:
-            product *= factor
+        for squeeze in self._bandwidth_squeezes:
+            product *= squeeze.factor
         return product
+
+    # -- shared NIC queues -------------------------------------------------------
+
+    def set_nic_bandwidth(self, node_id: Hashable,
+                          bandwidth: Optional[float]) -> None:
+        """Override one node's NIC bandwidth (bytes/tick).
+
+        ``None`` removes the override, falling back to
+        :attr:`NetworkConfig.nic_bandwidth` — there is no per-node way to
+        force a NIC *unpriced* while the config default prices it, because
+        an infinitely fast NIC on one node would make fleet-wide contention
+        results incomparable.
+        """
+        if bandwidth is None:
+            self._nic_bandwidth.pop(node_id, None)
+            return
+        if bandwidth <= 0:
+            raise ValueError(f"nic bandwidth must be positive, got {bandwidth}")
+        self._nic_bandwidth[node_id] = bandwidth
+
+    def nic_bandwidth_of(self, node_id: Hashable) -> Optional[float]:
+        """The node's configured NIC bytes/tick before congestion squeezes;
+        ``None`` when its NIC is unpriced (the stage is skipped)."""
+        override = self._nic_bandwidth.get(node_id)
+        if override is not None:
+            return override
+        return self.config.nic_bandwidth
+
+    def effective_nic_bandwidth(self, node_id: Hashable) -> Optional[float]:
+        """The node's current NIC bytes/tick after congestion squeezes —
+        congestion throttles shared NICs exactly like per-link pipes."""
+        bandwidth = self.nic_bandwidth_of(node_id)
+        if bandwidth is None:
+            return None
+        return bandwidth / self.bandwidth_squeeze
+
+    def nic_backlog(self, node_id: Hashable, *,
+                    downlink: bool = False) -> float:
+        """Ticks until the node's NIC finishes its queued serializations
+        (uplink by default; ``downlink=True`` for the receive side)."""
+        horizon = self._nic_down_busy if downlink else self._nic_up_busy
+        return max(0.0, horizon.get(node_id, 0.0) - self.simulator.now)
 
     # -- partitions -------------------------------------------------------------
 
@@ -381,7 +506,8 @@ class Network:
         partition separates the endpoints or the drop lottery fires, in which
         case it silently disappears (as the paper's ``send`` semantics allow).
         With the transmission model on, delivery additionally waits out the
-        link's FIFO backlog and the message's own serialization time.
+        sender's shared NIC, the link's FIFO backlog, the message's own
+        serialization time, and the receiver's shared NIC.
         """
         message = Message(
             source=source,
@@ -400,7 +526,9 @@ class Network:
         # (instead of 2-4 times through the helper methods) is a measurable
         # win with the link model on, where every message takes this path.
         model_active = (self.config.bandwidth is not None
-                        or self.config.delay_matrix is not None)
+                        or self.config.delay_matrix is not None
+                        or self.config.nic_bandwidth is not None
+                        or bool(self._nic_bandwidth))
         observing = model_active or self.record_delivery_latency
 
         if not self.is_reachable(source, destination):
@@ -451,7 +579,10 @@ class Network:
 
     def _link_model_active(self) -> bool:
         config = self.config
-        return config.bandwidth is not None or config.delay_matrix is not None
+        return (config.bandwidth is not None
+                or config.delay_matrix is not None
+                or config.nic_bandwidth is not None
+                or bool(self._nic_bandwidth))
 
     def _observing(self) -> bool:
         """Whether the windowed link observatory accumulates samples.
@@ -466,14 +597,20 @@ class Network:
         stat = self._link_stats.get(link)
         if stat is None:
             stat = self._link_stats[link] = {
-                "enqueued_bytes": 0, "delivered_bytes": 0, "dropped_bytes": 0}
+                "enqueued_bytes": 0, "delivered_bytes": 0,
+                "dropped_bytes": 0, "in_flight_bytes": 0}
         return stat
 
     def link_byte_stats(self) -> dict[tuple[Hashable, Hashable], dict[str, int]]:
         """Per-link byte conservation ledger (copies; model-on links only).
 
-        Invariant once the simulation is idle: for every link,
-        ``enqueued_bytes == delivered_bytes + dropped_bytes``.
+        Invariant at *every* instant, idle or not: for each link,
+        ``enqueued_bytes == delivered_bytes + dropped_bytes +
+        in_flight_bytes`` and ``in_flight_bytes >= 0`` — a send-time drop
+        charges enqueued and dropped atomically (the message never enters a
+        queue), and a scheduled message stays in flight until its delivery
+        event resolves it one way or the other.  Once idle,
+        ``in_flight_bytes`` is 0 and the classic two-term form holds.
         """
         return {link: dict(stat) for link, stat in self._link_stats.items()}
 
@@ -517,7 +654,7 @@ class Network:
             if config.delay_matrix is not None:
                 spec = config.delay_matrix.link(source_domain, destination_domain)
                 if spec is not None and spec.delay is not None:
-                    base = spec.delay
+                    base = spec.delay * config.delay_stretch
         jitter = config.jitter * self.simulator.rng.random() if config.jitter else 0.0
         delay = base + jitter
         if self._node_delay_factors:
@@ -525,40 +662,80 @@ class Network:
                       * self.node_delay_factor(destination))
         return delay
 
-    def _transmit(self, message: Message) -> tuple[float, float]:
-        """Charge ``message`` to its link's FIFO queue.
+    def _transmit(self, message: Message) -> tuple[float, float, float]:
+        """Charge ``message`` through the three-stage transmission pipeline:
+        sender uplink NIC → per-link pipe → receiver downlink NIC.
 
-        Returns ``(queue_wait, serialization)`` in ticks — both 0.0 while
-        the model is off, so delivery times (and the event trace) match the
-        size-blind network exactly.
+        Returns ``(queue_wait, serialization, nic_wait)`` in ticks — all
+        0.0 while the model is off, so delivery times (and the event trace)
+        match the size-blind network exactly.  Each stage starts when both
+        the message's previous stage and the stage's own FIFO horizon have
+        cleared; a gray-failure node factor multiplies each serialization
+        the degraded endpoint touches exactly once (uplink: sender's; link:
+        both; downlink: receiver's) — never the accumulated pipeline time,
+        so stacking queue stages does not compound the factor.
         """
         if not self._link_model_active():
             return _NO_COST
         link = (message.source, message.destination)
-        self._link_stat(link)["enqueued_bytes"] += message.size_bytes
-        bandwidth = self.effective_bandwidth(message.source, message.destination)
-        if bandwidth is None:
-            return _NO_COST
-        serialization = message.size_bytes / bandwidth
+        stat = self._link_stat(link)
+        size = message.size_bytes
+        stat["enqueued_bytes"] += size
+        stat["in_flight_bytes"] += size
+        source_factor = destination_factor = 1.0
         if self._node_delay_factors:
-            # A slow node's NIC serializes slowly too: the gray-failure
+            # A slow node's endpoints serialize slowly too: the gray-failure
             # factor composes multiplicatively with congestion squeezes.
-            serialization *= (self.node_delay_factor(message.source)
-                              * self.node_delay_factor(message.destination))
+            source_factor = self.node_delay_factor(message.source)
+            destination_factor = self.node_delay_factor(message.destination)
         now = self.simulator.now
-        start = max(now, self._link_busy_until.get(link, 0.0))
-        self._link_busy_until[link] = start + serialization
-        queue_wait = start - now
-        if queue_wait + serialization > self.max_transmission_delay:
-            self.max_transmission_delay = queue_wait + serialization
-        return (queue_wait, serialization)
+        finish = now
+        nic_wait = 0.0
+        serialization = 0.0
 
-    def _schedule_delivery(self, message: Message) -> tuple[float, float]:
+        uplink = self.effective_nic_bandwidth(message.source)
+        if uplink is not None:
+            stage = size / uplink * source_factor
+            start = max(finish, self._nic_up_busy.get(message.source, 0.0))
+            nic_wait += start - finish
+            finish = start + stage
+            self._nic_up_busy[message.source] = finish
+            serialization += stage
+
+        queue_wait = 0.0
+        bandwidth = self.effective_bandwidth(message.source, message.destination)
+        if bandwidth is not None:
+            stage = size / bandwidth * source_factor * destination_factor
+            start = max(finish, self._link_busy_until.get(link, 0.0))
+            queue_wait = start - finish
+            finish = start + stage
+            self._link_busy_until[link] = finish
+            serialization += stage
+
+        downlink = self.effective_nic_bandwidth(message.destination)
+        if downlink is not None:
+            stage = size / downlink * destination_factor
+            start = max(finish, self._nic_down_busy.get(message.destination, 0.0))
+            nic_wait += start - finish
+            finish = start + stage
+            self._nic_down_busy[message.destination] = finish
+            serialization += stage
+
+        total = finish - now
+        if total == 0.0:
+            # Every stage was unpriced (e.g. a delay-only matrix): share the
+            # zero-cost identity tuple like the model-off fast path.
+            return _NO_COST
+        if total > self.max_transmission_delay:
+            self.max_transmission_delay = total
+        return (queue_wait, serialization, nic_wait)
+
+    def _schedule_delivery(self, message: Message) -> tuple[float, float, float]:
         timing = self._transmit(message)
         delay = self._sample_delay(message.source, message.destination)
-        queue_wait, serialization = timing
+        queue_wait, serialization, nic_wait = timing
         self.simulator.schedule(
-            queue_wait + serialization + delay,
+            nic_wait + queue_wait + serialization + delay,
             lambda: self._deliver(message),
             label=f"deliver {message.mailbox} {message.source}->{message.destination}",
         )
@@ -569,12 +746,16 @@ class Network:
     def _deliver(self, message: Message) -> None:
         link = (message.source, message.destination)
         model_active = (self.config.bandwidth is not None
-                        or self.config.delay_matrix is not None)
+                        or self.config.delay_matrix is not None
+                        or self.config.nic_bandwidth is not None
+                        or bool(self._nic_bandwidth))
         observing = model_active or self.record_delivery_latency
         if not self.is_reachable(message.source, message.destination):
             self.messages_dropped += 1
             if model_active:
-                self._link_stat(link)["dropped_bytes"] += message.size_bytes
+                stat = self._link_stat(link)
+                stat["dropped_bytes"] += message.size_bytes
+                stat["in_flight_bytes"] -= message.size_bytes
             if observing:
                 self.observatory.on_dropped(link, message.sent_at,
                                             message.size_bytes)
@@ -583,14 +764,18 @@ class Network:
         if handler is None:
             self.messages_dropped += 1
             if model_active:
-                self._link_stat(link)["dropped_bytes"] += message.size_bytes
+                stat = self._link_stat(link)
+                stat["dropped_bytes"] += message.size_bytes
+                stat["in_flight_bytes"] -= message.size_bytes
             if observing:
                 self.observatory.on_dropped(link, message.sent_at,
                                             message.size_bytes)
             return
         self.messages_delivered += 1
         if model_active:
-            self._link_stat(link)["delivered_bytes"] += message.size_bytes
+            stat = self._link_stat(link)
+            stat["delivered_bytes"] += message.size_bytes
+            stat["in_flight_bytes"] -= message.size_bytes
         if observing:
             # Gated so a model-off soak run does not accumulate one sample
             # per delivered message it never reads.

@@ -341,6 +341,10 @@ class Transport:
         #: Ticks this node's envelopes spent serializing onto their links
         #: (0.0 while the network's transmission model is off).
         self.serialization_ticks = 0.0
+        #: Ticks this node's envelopes spent waiting behind *other links'*
+        #: traffic in shared NIC queues (uplink + downlink; 0.0 unless
+        #: ``nic_bandwidth`` prices the NIC stage).
+        self.nic_wait_ticks = 0.0
         #: mailbox -> {"messages": n, "entries": n, "bytes": n}
         self.mailbox_stats: dict[str, dict[str, int]] = {}
 
@@ -465,12 +469,15 @@ class Transport:
         timing = message.transmission
         if timing is _NO_COST:  # model off: nothing stamped, nothing to ledger
             return
-        queue_wait, serialization = timing
+        queue_wait, serialization, nic_wait = timing
         if serialization:
             self.serialization_ticks += serialization
             self.metrics.increment("transport.serialization_ticks", serialization)
         if queue_wait:
             self.metrics.increment("transport.queue_wait_ticks", queue_wait)
+        if nic_wait:
+            self.nic_wait_ticks += nic_wait
+            self.metrics.increment("transport.nic_wait_ticks", nic_wait)
 
     def _account_envelope(self, size: int, parcel_count: int) -> None:
         self.envelopes_sent += 1

@@ -13,6 +13,13 @@ program as the observed workload drifts (the adaptive reoptimization loop
 of §9.2).
 """
 
+from repro.placement.geo import (
+    GEO_AZS,
+    geo_delay_matrix,
+    locality_aware_domain,
+    naive_domain,
+    region_of,
+)
 from repro.placement.machines import MachineType, DEFAULT_CATALOG
 from repro.placement.cost_models import HandlerLoadModel, PerformanceModel
 from repro.placement.ilp import DeploymentProblem, DeploymentSolution, solve_deployment
@@ -21,6 +28,11 @@ from repro.placement.greedy import greedy_solve
 from repro.placement.autoscaler import Autoscaler
 
 __all__ = [
+    "GEO_AZS",
+    "geo_delay_matrix",
+    "locality_aware_domain",
+    "naive_domain",
+    "region_of",
     "MachineType",
     "DEFAULT_CATALOG",
     "PerformanceModel",

@@ -1,0 +1,97 @@
+"""Geo topology: regions, availability zones, and replica placement.
+
+The chaos harness's geo profile models a 3-region × 2-AZ deployment with an
+IDMS-style delay/bandwidth matrix (PAPERS.md: "Replacing Network Coordinate
+System with Internet Delay Matrix Service"): intra-AZ links are fast and
+fat, intra-region links a little slower, cross-region links slow and thin.
+AZ ids follow the ``az-<k>`` convention the rest of the harness already
+uses (``DomainOutage``, ``LatticeKVS``), with region ``k // 2``:
+
+    region 0: az-0, az-1      region 1: az-2, az-3      region 2: az-4, az-5
+
+Two placement policies map ``(shard_index, replica_index)`` to an AZ:
+
+* :func:`locality_aware_domain` keeps a shard's replicas inside one region
+  (spread across its AZs), so quorum and gossip traffic rides intra-region
+  links — the placement a latency-aware optimizer would pick;
+* :func:`naive_domain` strides AZs region-blind, scattering a shard's
+  replicas across regions (and colliding replicas into one AZ once the
+  replication factor exceeds the region count) — the strawman the
+  ``BENCH_network.json`` geo tier measures against.
+
+All delays sit far below the transport's RPC timeout (25 ticks), so the geo
+profile reshapes latency distributions without starving retries.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.network import DelayMatrix
+
+#: The modelled deployment: 3 regions × 2 AZs.
+GEO_REGIONS = 3
+GEO_AZS_PER_REGION = 2
+GEO_AZS = tuple(f"az-{k}" for k in range(GEO_REGIONS * GEO_AZS_PER_REGION))
+
+#: Propagation delays (ticks): same AZ / same region / cross region.
+INTRA_AZ_DELAY = 0.5
+INTRA_REGION_DELAY = 1.5
+CROSS_REGION_DELAY = 6.0
+
+#: Link bandwidths (bytes/tick): fat inside an AZ, thin between regions.
+INTRA_AZ_BANDWIDTH = 16384.0
+INTRA_REGION_BANDWIDTH = 8192.0
+CROSS_REGION_BANDWIDTH = 2048.0
+
+#: Shared per-node NIC bandwidth for the geo profile (bytes/tick): twice
+#: the harness's default per-link bandwidth, so fan-out bursts contend at
+#: the sender without the NIC shadowing every individual link.
+GEO_NIC_BANDWIDTH = 8192.0
+
+
+def region_of(az: str) -> int:
+    """The region index of an ``az-<k>`` id (``k // GEO_AZS_PER_REGION``)."""
+    return int(str(az).rsplit("-", 1)[1]) // GEO_AZS_PER_REGION
+
+
+def geo_delay_matrix() -> DelayMatrix:
+    """The full 6×6 AZ delay/bandwidth matrix of the geo profile.
+
+    Every AZ pair is pinned (36 directed links), so any node placed in a
+    ``GEO_AZS`` domain gets locality-priced paths; nodes outside the
+    matrix — workload clients in the ``"default"`` domain — fall back to
+    the :class:`~repro.cluster.NetworkConfig` base delay and bandwidth.
+    """
+    matrix = DelayMatrix()
+    for i, az_a in enumerate(GEO_AZS):
+        matrix.set_link(az_a, az_a, delay=INTRA_AZ_DELAY,
+                        bandwidth=INTRA_AZ_BANDWIDTH)
+        for az_b in GEO_AZS[i + 1:]:
+            if region_of(az_a) == region_of(az_b):
+                matrix.set_link(az_a, az_b, delay=INTRA_REGION_DELAY,
+                                bandwidth=INTRA_REGION_BANDWIDTH)
+            else:
+                matrix.set_link(az_a, az_b, delay=CROSS_REGION_DELAY,
+                                bandwidth=CROSS_REGION_BANDWIDTH)
+    return matrix
+
+
+def locality_aware_domain(shard_index: int, replica_index: int) -> str:
+    """Place a shard's replicas inside one region, spread over its AZs.
+
+    Shards rotate over regions for load balance; within the region,
+    replicas rotate over its AZs, so a 2-replica shard survives any single
+    AZ outage without ever paying a cross-region quorum hop.
+    """
+    region = shard_index % GEO_REGIONS
+    az = replica_index % GEO_AZS_PER_REGION
+    return GEO_AZS[region * GEO_AZS_PER_REGION + az]
+
+
+def naive_domain(shard_index: int, replica_index: int) -> str:
+    """Region-blind striding over the flat AZ list (the strawman).
+
+    Consecutive replicas land ``GEO_REGIONS`` AZs apart — almost always in
+    different regions — so every quorum and gossip exchange pays the
+    cross-region delay and squeezes through the thin inter-region pipes.
+    """
+    return GEO_AZS[(shard_index + replica_index * GEO_REGIONS) % len(GEO_AZS)]

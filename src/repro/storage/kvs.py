@@ -652,13 +652,19 @@ class LatticeKVS:
                  metrics: MetricsRegistry | None = None,
                  vnodes: int = 64,
                  gossip_mode: str = "delta",
-                 full_sync_every: int = 10) -> None:
+                 full_sync_every: int = 10,
+                 placement=None) -> None:
         if shard_count < 1 or replication_factor < 1:
             raise ValueError("shard_count and replication_factor must be >= 1")
         self.simulator = simulator
         self.network = network
         self.shard_count = shard_count
         self.replication_factor = replication_factor
+        #: ``(shard_index, replica_index) -> failure domain`` for replica
+        #: placement (e.g. :func:`repro.placement.geo.locality_aware_domain`).
+        #: ``None`` keeps the default ``az-<replica_index>`` striping.  Also
+        #: consulted for shards a live reshard creates.
+        self.placement = placement
         self.gossip_interval = gossip_interval
         self.gossip_mode = gossip_mode
         self.full_sync_every = full_sync_every
@@ -682,9 +688,13 @@ class LatticeKVS:
         replicas = []
         for replica_index in range(self.replication_factor):
             node_id = f"kvs-g{generation}-s{shard_index}-r{replica_index}"
+            if self.placement is not None:
+                domain = self.placement(shard_index, replica_index)
+            else:
+                domain = f"az-{replica_index}"
             replicas.append(
                 ShardNode(node_id, self.simulator, self.network,
-                          domain=f"az-{replica_index}",
+                          domain=domain,
                           gossip_interval=self.gossip_interval,
                           gossip_mode=self.gossip_mode,
                           full_sync_every=self.full_sync_every)

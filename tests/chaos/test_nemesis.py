@@ -198,9 +198,41 @@ class TestCongestion:
         env.network.send(  # repro-lint: disable=RL002 -- raw probe: this test measures the link model itself
             sender.node_id, receiver.node_id, "probe", "x",
             size_bytes=400)  # repro-lint: disable=RL003 -- fixed-size probe pins the serialization arithmetic
-        queue_wait, serialization = env.network.last_transmission
+        queue_wait, serialization, nic_wait = env.network.last_transmission
         # 400 B at (200/5) B/tick, times the endpoint factor 3.
         assert serialization == pytest.approx(400 / 40.0 * 3.0)
+
+    def test_stale_restore_never_unsqueezes_a_later_same_factor_fault(self):
+        """Squeezes retire by handle identity, like partition heals.
+
+        Regression for the retire-by-value bug: two Congestion faults with
+        the *same factor*, the first cleared early by ``heal_everything``.
+        When the first window's restore timer still fires, a value-based
+        ``list.remove`` would retire the *second* fault's squeeze (same
+        factor, different fault) and un-throttle the fabric mid-window.
+        """
+        env, _ = self.build_priced()
+        schedule = [Congestion(at=10.0, duration=20.0, factor=4.0),
+                    Congestion(at=25.0, duration=30.0, factor=4.0)]
+        Nemesis(env, schedule).start()
+        env.simulator.schedule(20.0, env.heal_everything,
+                               label="operator clears all faults")
+        # t=30: the first fault's restore fires against its already-cleared
+        # handle; the second fault (installed at 25) must stay active.
+        env.simulator.run(until=35.0)
+        assert env.network.bandwidth_squeeze == pytest.approx(4.0)
+        env.simulator.run(until=60.0)  # second window expired at 55
+        assert env.network.bandwidth_squeeze == pytest.approx(1.0)
+
+    def test_pop_is_idempotent_and_legacy_floats_still_retire(self):
+        env, _ = self.build_priced()
+        handle = env.push_bandwidth_squeeze(3.0)
+        env.pop_bandwidth_squeeze(handle)
+        env.pop_bandwidth_squeeze(handle)  # stale second pop: no-op
+        assert env.network.bandwidth_squeeze == pytest.approx(1.0)
+        env.network.add_bandwidth_squeeze(5.0)
+        env.network.remove_bandwidth_squeeze(5.0)  # pre-handle convention
+        assert env.network.bandwidth_squeeze == pytest.approx(1.0)
 
     def test_heal_everything_clears_squeezes(self):
         env, _ = self.build_priced()

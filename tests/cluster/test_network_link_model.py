@@ -253,6 +253,75 @@ class TestByteConservation:
         assert stat["dropped_bytes"] == stat["enqueued_bytes"] == wire_size(3)
         assert stat["delivered_bytes"] == 0
 
+    def test_send_time_drop_is_ledgered_immediately(self):
+        """A message dropped at send time (partitioned link) charges the
+        ledger atomically — enqueued and dropped together, never entering
+        in-flight — so the conservation invariant holds at every instant,
+        not only once idle.  Regression: the send-path drop branches used
+        to skip the ledger entirely, leaving dropped sends unaccounted."""
+        sim = Simulator(seed=1)
+        net = Network(sim, NetworkConfig(base_delay=1.0, jitter=0.0,
+                                         bandwidth=1000.0))
+        a = Node("a", sim, net)
+        b = Node("b", sim, net)
+        b.on("inbox", lambda msg: None)
+        net.partition({"a"}, {"b"})
+        a.send("b", "inbox", "x", entries=3)
+        stat = net.link_byte_stats()[("a", "b")]  # before any event runs
+        assert stat["enqueued_bytes"] == stat["dropped_bytes"] == wire_size(3)
+        assert stat["in_flight_bytes"] == 0
+
+    def test_in_flight_balances_mid_run(self):
+        """While a priced message is still travelling, its bytes sit in
+        ``in_flight_bytes`` and the three-term balance already holds."""
+        sim = Simulator(seed=1)
+        net = Network(sim, NetworkConfig(base_delay=5.0, jitter=0.0,
+                                         bandwidth=1000.0))
+        a = Node("a", sim, net)
+        b = Node("b", sim, net)
+        b.on("inbox", lambda msg: None)
+        a.send("b", "inbox", "x", entries=3)
+        stat = net.link_byte_stats()[("a", "b")]
+        assert stat["in_flight_bytes"] == wire_size(3)
+        assert stat["enqueued_bytes"] == (stat["delivered_bytes"]
+                                          + stat["dropped_bytes"]
+                                          + stat["in_flight_bytes"])
+        sim.run_until_idle()
+        stat = net.link_byte_stats()[("a", "b")]
+        assert stat["in_flight_bytes"] == 0
+        assert stat["delivered_bytes"] == wire_size(3)
+
+
+class TestLastTransmissionReadback:
+    def test_dropped_send_resets_last_transmission(self):
+        """``last_transmission`` reflects the *most recent* send: after a
+        priced send it carries that send's cost, and a same-instant send
+        that the partition (or the drop lottery) eats resets it to the
+        zero tuple.  Regression: the dropped-send paths used to leave the
+        previous send's cost behind, so callers ledgered phantom ticks."""
+        sim = Simulator(seed=1)
+        net = Network(sim, NetworkConfig(base_delay=1.0, jitter=0.0,
+                                         bandwidth=100.0))
+        a = Node("a", sim, net)
+        b = Node("b", sim, net)
+        b.on("inbox", lambda msg: None)
+        a.send("b", "inbox", "x", entries=1)
+        assert net.last_transmission == (
+            0.0, pytest.approx(wire_size(1) / 100.0), 0.0)
+        net.partition({"a"}, {"b"})
+        a.send("b", "inbox", "y", entries=1)  # same instant, dropped
+        assert net.last_transmission == (0.0, 0.0, 0.0)
+
+    def test_drop_lottery_send_also_resets(self):
+        sim = Simulator(seed=1)
+        net = Network(sim, NetworkConfig(base_delay=1.0, jitter=0.0,
+                                         drop_rate=1.0, bandwidth=100.0))
+        a = Node("a", sim, net)
+        Node("b", sim, net).on("inbox", lambda msg: None)
+        net.last_transmission = (9.0, 9.0, 9.0)  # poison: must be cleared
+        a.send("b", "inbox", "x", entries=1)
+        assert net.last_transmission == (0.0, 0.0, 0.0)
+
 
 class TestModelOffEquivalence:
     """With no bandwidth and no matrix, the network is the pre-model one."""
@@ -264,7 +333,7 @@ class TestModelOffEquivalence:
         sim.run_until_idle()
         assert arrivals[0][2] == pytest.approx(1.0)  # size cost no time
         assert net.link_byte_stats() == {}
-        assert net.last_transmission == (0.0, 0.0)
+        assert net.last_transmission == (0.0, 0.0, 0.0)
         assert net.max_transmission_delay == 0.0
 
     def test_rng_consumption_matches_pre_model_formula(self):
